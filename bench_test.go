@@ -1,0 +1,236 @@
+package sysscale_test
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (go test -bench=. -benchmem). Each benchmark runs
+// the corresponding experiment once per iteration and reports the
+// headline quantities as custom metrics, so a single -bench run prints
+// the paper-versus-measured comparison alongside timing:
+//
+//	BenchmarkFig7SPEC     sysscale_avg_pct   ...  (paper: 9.2)
+//
+// Absolute numbers are simulator-relative; the shape (who wins, by what
+// factor, where crossovers fall) is the reproduction target. See
+// EXPERIMENTS.md for the per-figure comparison.
+
+import (
+	"testing"
+
+	"sysscale/internal/experiments"
+	"sysscale/internal/sim"
+)
+
+// BenchmarkTable1Setups regenerates Table 1 (the two experimental
+// setups) and reports the voltage ratios.
+func BenchmarkTable1Setups(b *testing.B) {
+	var vsa, vio float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1()
+		vsa, vio = t.VSARatio(), t.VIORatio()
+	}
+	b.ReportMetric(vsa, "vsa_ratio")
+	b.ReportMetric(vio, "vio_ratio")
+}
+
+// BenchmarkFig2aMotivation regenerates the §3 motivation experiment
+// (MD-DVFS vs baseline on perlbench/cactusADM/lbm).
+func BenchmarkFig2aMotivation(b *testing.B) {
+	var power float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		power = 0
+		for _, row := range r.Rows {
+			power += -100 * row.PowerDelta
+		}
+		power /= float64(len(r.Rows))
+	}
+	b.ReportMetric(power, "avg_power_saving_pct") // paper: 10-11
+}
+
+// BenchmarkFig3bStaticDemand regenerates the static-demand table.
+func BenchmarkFig3bStaticDemand(b *testing.B) {
+	var hd float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3b()
+		for _, row := range r.Rows {
+			if row.Engine == "display" && row.Config == "1x HD@60" {
+				hd = 100 * row.PeakFrac
+			}
+		}
+	}
+	b.ReportMetric(hd, "hd_peak_pct") // paper: ~17
+}
+
+// BenchmarkFig4MRC regenerates the unoptimized-MRC study.
+func BenchmarkFig4MRC(b *testing.B) {
+	var powerInc, perfDeg float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		powerInc, perfDeg = 100*r.MemPowerIncrease, 100*r.PerfDegradation
+	}
+	b.ReportMetric(powerInc, "mem_power_increase_pct") // paper: 22
+	b.ReportMetric(perfDeg, "perf_degradation_pct")    // paper: 10
+}
+
+// BenchmarkFig5Flow measures the DVFS transition flow latency.
+func BenchmarkFig5Flow(b *testing.B) {
+	var down float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5Latency()
+		if err != nil {
+			b.Fatal(err)
+		}
+		down = r.DownLatency.Micros()
+	}
+	b.ReportMetric(down, "flow_latency_us") // paper: <10
+}
+
+// BenchmarkFig6Prediction runs a reduced prediction study (the full
+// 1620-workload sweep runs via cmd/experiments).
+func BenchmarkFig6Prediction(b *testing.B) {
+	var corr float64
+	var fp int
+	for i := 0; i < b.N; i++ {
+		opt := experiments.DefaultFig6Options()
+		opt.PerPanel = 40
+		opt.Duration = 300 * sim.Millisecond
+		r, err := experiments.Fig6(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		corr, fp = 0, 0
+		for _, p := range r.Panels {
+			corr += p.Correlation
+			fp += p.FalsePos
+		}
+		corr /= float64(len(r.Panels))
+	}
+	b.ReportMetric(corr, "mean_correlation")       // paper: 0.84-0.96
+	b.ReportMetric(float64(fp), "false_positives") // paper: 0
+}
+
+// BenchmarkFig7SPEC regenerates the headline SPEC CPU2006 comparison.
+func BenchmarkFig7SPEC(b *testing.B) {
+	var sys, co, mem, max float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, co, mem, max = 100*r.AvgSysScale, 100*r.AvgCoScaleR, 100*r.AvgMemScaleR, 100*r.MaxSysScale
+	}
+	b.ReportMetric(sys, "sysscale_avg_pct")   // paper: 9.2
+	b.ReportMetric(co, "coscale_r_avg_pct")   // paper: 3.8
+	b.ReportMetric(mem, "memscale_r_avg_pct") // paper: 1.7
+	b.ReportMetric(max, "sysscale_max_pct")   // paper: 16
+}
+
+// BenchmarkFig8Graphics regenerates the 3DMark comparison.
+func BenchmarkFig8Graphics(b *testing.B) {
+	var g06, g11, gv float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		g06, g11, gv = 100*r.Rows[0].SysScale, 100*r.Rows[1].SysScale, 100*r.Rows[2].SysScale
+	}
+	b.ReportMetric(g06, "3dmark06_pct")     // paper: 8.9
+	b.ReportMetric(g11, "3dmark11_pct")     // paper: 6.7
+	b.ReportMetric(gv, "3dmarkvantage_pct") // paper: 8.1
+}
+
+// BenchmarkFig9Battery regenerates the battery-life comparison.
+func BenchmarkFig9Battery(b *testing.B) {
+	var web, game, conf, video float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		web, game = 100*r.Rows[0].SysScale, 100*r.Rows[1].SysScale
+		conf, video = 100*r.Rows[2].SysScale, 100*r.Rows[3].SysScale
+	}
+	b.ReportMetric(web, "web_saving_pct")     // paper: 6.4
+	b.ReportMetric(game, "gaming_saving_pct") // paper: 9.5
+	b.ReportMetric(conf, "conf_saving_pct")   // paper: 7.6
+	b.ReportMetric(video, "video_saving_pct") // paper: 10.7
+}
+
+// BenchmarkFig10TDP regenerates the TDP sensitivity sweep.
+func BenchmarkFig10TDP(b *testing.B) {
+	var m35, m45, m7, m15 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m35, m45 = r.Rows[0].Summary.Mean, r.Rows[1].Summary.Mean
+		m7, m15 = r.Rows[2].Summary.Mean, r.Rows[3].Summary.Mean
+	}
+	b.ReportMetric(m35, "mean_3p5w_pct") // paper: 19.1
+	b.ReportMetric(m45, "mean_4p5w_pct") // paper: 9.2
+	b.ReportMetric(m7, "mean_7w_pct")
+	b.ReportMetric(m15, "mean_15w_pct")
+}
+
+// BenchmarkDRAMSensitivity regenerates the §7.4 analysis.
+func BenchmarkDRAMSensitivity(b *testing.B) {
+	var deficit, ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.DRAMSensitivity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		deficit = 100 * (1 - r.DDR4Freed/r.LPDDR3Freed)
+		ratio = r.Degrade08 / r.Degrade106
+	}
+	b.ReportMetric(deficit, "ddr4_deficit_pct")   // paper: ~7
+	b.ReportMetric(ratio, "penalty_ratio_08_106") // paper: 2-3
+}
+
+// BenchmarkAblations runs the design-choice ablation sweep.
+func BenchmarkAblations(b *testing.B) {
+	var full, noMRC, noRedist float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Ablations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			switch row.Name {
+			case "full":
+				full = 100 * row.AvgGain
+			case "no-mrc-reload":
+				noMRC = 100 * row.AvgGain
+			case "no-redistribution":
+				noRedist = 100 * row.AvgGain
+			}
+		}
+	}
+	b.ReportMetric(full, "full_gain_pct")
+	b.ReportMetric(noMRC, "no_mrc_gain_pct")
+	b.ReportMetric(noRedist, "no_redist_gain_pct")
+}
+
+// BenchmarkSimulatorTick measures raw simulator throughput: simulated
+// milliseconds per wall-clock second on a single workload/policy pair.
+func BenchmarkSimulatorTick(b *testing.B) {
+	w, err := experiments.BenchWorkload()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.BenchConfig(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BenchRun(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cfg.Duration.Millis()*float64(b.N)/b.Elapsed().Seconds(), "sim_ms/s")
+}

@@ -1,0 +1,98 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run name] [-fig6n N]
+//
+// With no flags it runs the full set in paper order. -run selects one
+// experiment by name (table1, table2, fig2, fig3, fig4, fig5, fig6,
+// fig7, fig8, fig9, fig10, sensitivity, cost, ablations, calibrate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sysscale/internal/experiments"
+)
+
+func main() {
+	runName := flag.String("run", "", "run a single experiment by name")
+	fig6n := flag.Int("fig6n", 0, "workloads per Fig. 6 panel (0 = paper scale, 180)")
+	flag.Parse()
+
+	type exp struct {
+		name string
+		fn   func() (fmt.Stringer, error)
+	}
+	all := []exp{
+		{"table1", func() (fmt.Stringer, error) { return experiments.Table1(), nil }},
+		{"table2", func() (fmt.Stringer, error) { return experiments.Table2(), nil }},
+		{"fig2", func() (fmt.Stringer, error) {
+			a, err := experiments.Fig2a()
+			if err != nil {
+				return nil, err
+			}
+			b, err := experiments.Fig2b()
+			if err != nil {
+				return nil, err
+			}
+			c, err := experiments.Fig2c()
+			if err != nil {
+				return nil, err
+			}
+			return multi{a, b, c}, nil
+		}},
+		{"fig3", func() (fmt.Stringer, error) {
+			a, err := experiments.Fig3a()
+			if err != nil {
+				return nil, err
+			}
+			return multi{a, experiments.Fig3b()}, nil
+		}},
+		{"fig4", func() (fmt.Stringer, error) { return experiments.Fig4() }},
+		{"fig5", func() (fmt.Stringer, error) { return experiments.Fig5Latency() }},
+		{"fig6", func() (fmt.Stringer, error) {
+			opt := experiments.DefaultFig6Options()
+			if *fig6n > 0 {
+				opt.PerPanel = *fig6n
+			}
+			return experiments.Fig6(opt)
+		}},
+		{"fig7", func() (fmt.Stringer, error) { return experiments.Fig7() }},
+		{"fig8", func() (fmt.Stringer, error) { return experiments.Fig8() }},
+		{"fig9", func() (fmt.Stringer, error) { return experiments.Fig9() }},
+		{"fig10", func() (fmt.Stringer, error) { return experiments.Fig10() }},
+		{"sensitivity", func() (fmt.Stringer, error) { return experiments.DRAMSensitivity() }},
+		{"multipoint", func() (fmt.Stringer, error) { return experiments.MultiPoint() }},
+		{"cost", func() (fmt.Stringer, error) { return experiments.ImplementationCost() }},
+		{"ablations", func() (fmt.Stringer, error) { return experiments.Ablations() }},
+		{"calibrate", func() (fmt.Stringer, error) { return experiments.Calibrate(0, 7) }},
+	}
+
+	for _, e := range all {
+		if *runName != "" && e.name != *runName {
+			continue
+		}
+		start := time.Now()
+		out, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(start).Seconds(), out)
+	}
+}
+
+// multi renders several results in sequence.
+type multi []fmt.Stringer
+
+func (m multi) String() string {
+	s := ""
+	for _, x := range m {
+		s += x.String() + "\n"
+	}
+	return s
+}

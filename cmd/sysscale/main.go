@@ -1,0 +1,146 @@
+// Command sysscale runs one workload under one governor on the
+// simulated platform and prints the full result.
+//
+// Usage:
+//
+//	sysscale -workload 470.lbm -policy sysscale [-tdp 4.5] [-duration 4s]
+//	         [-compare] [-verbose]
+//
+// -workload accepts a SPEC CPU2006 name, "3dmark06", "3dmark11",
+// "3dmarkvantage", "web-browsing", "light-gaming", "video-conf",
+// "video-playback" or "stream". -policy selects baseline, sysscale,
+// memscale[-redist], coscale[-redist], static-low. -compare also runs
+// the baseline and prints the deltas. -list shows all workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sysscale"
+	"sysscale/internal/workload"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "473.astar", "workload name (-list to enumerate)")
+		wlFile   = flag.String("workload-file", "", "load the workload from a tracegen-style JSON file instead")
+		polName  = flag.String("policy", "sysscale", "baseline | sysscale | memscale | memscale-redist | coscale | coscale-redist | static-low")
+		tdp      = flag.Float64("tdp", 4.5, "package TDP in watts")
+		duration = flag.Duration("duration", 4*time.Second, "simulated duration")
+		compare  = flag.Bool("compare", false, "also run the baseline and print deltas")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range sysscale.SPECNames() {
+			fmt.Println(n)
+		}
+		for _, w := range sysscale.GraphicsSuite() {
+			fmt.Println(strings.ToLower(w.Name))
+		}
+		for _, w := range sysscale.BatterySuite() {
+			fmt.Println(w.Name)
+		}
+		fmt.Println("stream")
+		return
+	}
+
+	var w sysscale.Workload
+	var err error
+	if *wlFile != "" {
+		w, err = loadWorkloadFile(*wlFile)
+	} else {
+		w, err = findWorkload(*wlName)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pol, err := findPolicy(*polName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := sysscale.DefaultConfig()
+	cfg.Workload = w
+	cfg.Policy = pol
+	cfg.TDP = sysscale.Watt(*tdp)
+	cfg.Duration = sysscale.Time(duration.Nanoseconds())
+
+	res, err := sysscale.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+
+	if *compare && *polName != "baseline" {
+		cfg.Policy = sysscale.NewBaseline()
+		base, err := sysscale.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("vs baseline: perf %+.1f%%, avg power %+.1f%%, EDP %+.1f%%\n",
+			100*sysscale.PerfImprovement(res, base),
+			100*(float64(res.AvgPower/base.AvgPower)-1),
+			100*sysscale.EDPImprovement(res, base))
+	}
+}
+
+func loadWorkloadFile(path string) (sysscale.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return sysscale.Workload{}, err
+	}
+	defer f.Close()
+	return workload.ReadJSON(f)
+}
+
+func findWorkload(name string) (sysscale.Workload, error) {
+	if w, err := sysscale.SPEC(name); err == nil {
+		return w, nil
+	}
+	lower := strings.ToLower(name)
+	for _, w := range sysscale.GraphicsSuite() {
+		if strings.ToLower(w.Name) == lower {
+			return w, nil
+		}
+	}
+	for _, w := range sysscale.BatterySuite() {
+		if w.Name == lower {
+			return w, nil
+		}
+	}
+	if lower == "stream" || lower == "stream-peak-bw" {
+		return sysscale.Stream(), nil
+	}
+	return sysscale.Workload{}, fmt.Errorf("unknown workload %q (use -list)", name)
+}
+
+func findPolicy(name string) (sysscale.Policy, error) {
+	switch strings.ToLower(name) {
+	case "baseline":
+		return sysscale.NewBaseline(), nil
+	case "sysscale":
+		return sysscale.NewSysScale(), nil
+	case "memscale":
+		return sysscale.NewMemScale(false), nil
+	case "memscale-redist":
+		return sysscale.NewMemScale(true), nil
+	case "coscale":
+		return sysscale.NewCoScale(false), nil
+	case "coscale-redist":
+		return sysscale.NewCoScale(true), nil
+	case "static-low":
+		return sysscale.NewStaticPoint(1, true), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

@@ -1,0 +1,107 @@
+// Command tracegen emits workload demand traces as JSON: either the
+// phase definitions themselves or a sampled bandwidth-over-time series
+// (the data behind Figs. 2(c) and 3(a)).
+//
+// Usage:
+//
+//	tracegen -workload 470.lbm            # phase definitions
+//	tracegen -workload 473.astar -series  # sampled GB/s series
+//	tracegen -synthetic 50 -class cpu-st  # synthetic sweep workloads
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"flag"
+
+	"sysscale"
+	"sysscale/internal/sim"
+	"sysscale/internal/workload"
+)
+
+func main() {
+	var (
+		wlName    = flag.String("workload", "", "workload to dump")
+		series    = flag.Bool("series", false, "emit a sampled bandwidth series instead of phases")
+		stepMS    = flag.Int("step", 100, "series sample step in milliseconds")
+		synthetic = flag.Int("synthetic", 0, "emit N synthetic workloads instead")
+		class     = flag.String("class", "cpu-st", "synthetic class: cpu-st | cpu-mt | graphics")
+		seed      = flag.Uint64("seed", 1, "synthetic generator seed")
+	)
+	flag.Parse()
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+
+	if *synthetic > 0 {
+		var cl workload.Class
+		switch strings.ToLower(*class) {
+		case "cpu-st":
+			cl = workload.CPUSingleThread
+		case "cpu-mt":
+			cl = workload.CPUMultiThread
+		case "graphics":
+			cl = workload.Graphics
+		default:
+			fmt.Fprintf(os.Stderr, "unknown class %q\n", *class)
+			os.Exit(1)
+		}
+		ws := workload.Synthetic(workload.SyntheticSpec{Class: cl, Count: *synthetic, Seed: *seed})
+		if err := enc.Encode(ws); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *wlName == "" {
+		fmt.Fprintln(os.Stderr, "need -workload or -synthetic")
+		os.Exit(1)
+	}
+	w, err := find(*wlName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *series {
+		step := sim.Time(*stepMS) * sim.Millisecond
+		samples := w.BWOverTime(step)
+		type point struct {
+			TimeMS float64 `json:"time_ms"`
+			GBps   float64 `json:"gbps"`
+		}
+		out := make([]point, len(samples))
+		for i, s := range samples {
+			out[i] = point{TimeMS: float64(i * *stepMS), GBps: s / 1e9}
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := enc.Encode(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func find(name string) (sysscale.Workload, error) {
+	if w, err := sysscale.SPEC(name); err == nil {
+		return w, nil
+	}
+	lower := strings.ToLower(name)
+	for _, w := range append(sysscale.GraphicsSuite(), sysscale.BatterySuite()...) {
+		if strings.ToLower(w.Name) == lower {
+			return w, nil
+		}
+	}
+	if lower == "stream" {
+		return sysscale.Stream(), nil
+	}
+	return sysscale.Workload{}, fmt.Errorf("unknown workload %q", name)
+}

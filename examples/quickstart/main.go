@@ -1,0 +1,43 @@
+// Quickstart: run one SPEC CPU2006 workload under the worst-case
+// baseline and under SysScale on the paper's 4.5W platform, and report
+// the performance improvement from multi-domain DVFS with power-budget
+// redistribution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sysscale"
+)
+
+func main() {
+	w, err := sysscale.SPEC("473.astar")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sysscale.DefaultConfig()
+	cfg.Workload = w
+	cfg.Duration = 9 * sysscale.Second // two loops of astar's phases
+
+	cfg.Policy = sysscale.NewBaseline()
+	base, err := sysscale.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Policy = sysscale.NewSysScale()
+	sys, err := sysscale.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== baseline (worst-case IO/memory provisioning) ===")
+	fmt.Println(base)
+	fmt.Println("=== SysScale ===")
+	fmt.Println(sys)
+	fmt.Printf("performance improvement: %+.1f%%  (astar's phased demand lets SysScale\n", 100*sysscale.PerfImprovement(sys, base))
+	fmt.Printf("drop to the low point during calm phases and boost the cores)\n")
+	fmt.Printf("EDP improvement: %+.1f%%\n", 100*sysscale.EDPImprovement(sys, base))
+}

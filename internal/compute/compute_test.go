@@ -1,0 +1,218 @@
+package compute
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sysscale/internal/power"
+	"sysscale/internal/vf"
+)
+
+func TestCStates(t *testing.T) {
+	if !C0.DRAMActive() || !C2.DRAMActive() {
+		t.Fatal("DRAM must be active in C0/C2 (§7.3)")
+	}
+	if C6.DRAMActive() || C8.DRAMActive() {
+		t.Fatal("DRAM must be in self-refresh in C6/C8")
+	}
+	if C0.String() != "C0" || C8.String() != "C8" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+func TestResidencyValidation(t *testing.T) {
+	good := Residency{C0: 0.1, C2: 0.05, C8: 0.85}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(good.DRAMActiveFrac()-0.15) > 1e-12 || good.ActiveFrac() != 0.1 {
+		t.Fatal("residency fractions wrong")
+	}
+	bad := Residency{C0: 0.5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-normalized residency accepted")
+	}
+	if err := FullyActive().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoresPStateFollowsCurve(t *testing.T) {
+	c, err := NewCores(DefaultCoreParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Frequency() != 1.2*vf.GHz {
+		t.Fatalf("base frequency = %v, want 1.2GHz (Table 2)", c.Frequency())
+	}
+	if err := c.SetPState(2.5 * vf.GHz); err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultCoreParams().Curve.VoltageAt(2.5 * vf.GHz)
+	if c.Voltage() != want {
+		t.Fatalf("voltage = %v, want %v", c.Voltage(), want)
+	}
+	// Above Fmax: clamped.
+	if err := c.SetPState(99 * vf.GHz); err != nil {
+		t.Fatal(err)
+	}
+	if c.Frequency() != DefaultCoreParams().Curve.Fmax() {
+		t.Fatal("Fmax clamp broken")
+	}
+	if err := c.SetPState(0); err == nil {
+		t.Fatal("zero frequency accepted")
+	}
+}
+
+func TestDutyCycle(t *testing.T) {
+	c, _ := NewCores(DefaultCoreParams())
+	if err := c.SetDutyCycle(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if c.EffectiveFrequency() != vf.Hz(float64(c.Frequency())*0.5) {
+		t.Fatal("effective frequency ignores duty cycle")
+	}
+	if err := c.SetDutyCycle(0); err == nil {
+		t.Fatal("zero duty accepted")
+	}
+	if err := c.SetDutyCycle(1.5); err == nil {
+		t.Fatal("over-unity duty accepted")
+	}
+	// HDC halves dynamic power at 0.5 duty.
+	if err := c.SetDutyCycle(1); err != nil {
+		t.Fatal(err)
+	}
+	full := c.ActivePower(2, 0.8)
+	if err := c.SetDutyCycle(0.5); err != nil {
+		t.Fatal(err)
+	}
+	half := c.ActivePower(2, 0.8)
+	if half >= full {
+		t.Fatal("duty cycling did not reduce power")
+	}
+}
+
+func TestActivePowerScaling(t *testing.T) {
+	c, _ := NewCores(DefaultCoreParams())
+	one := c.ActivePower(1, 0.8)
+	two := c.ActivePower(2, 0.8)
+	if two <= one {
+		t.Fatal("second core free")
+	}
+	// Clamps.
+	if c.ActivePower(5, 0.8) != two {
+		t.Fatal("core count not clamped")
+	}
+	if c.ActivePower(1, -1) >= one {
+		t.Fatal("activity not clamped low")
+	}
+}
+
+func TestIdlePowersOrdered(t *testing.T) {
+	c, _ := NewCores(DefaultCoreParams())
+	if !(c.IdlePower(C2) > c.IdlePower(C6) && c.IdlePower(C6) > c.IdlePower(C8)) {
+		t.Fatal("idle powers not ordered C2 > C6 > C8")
+	}
+}
+
+func TestFreqForBudgetInverse(t *testing.T) {
+	c, _ := NewCores(DefaultCoreParams())
+	// Property: granted frequency's planned power fits the budget.
+	err := quick.Check(func(raw uint8) bool {
+		budget := power.Watt(0.3 + float64(raw)/255*5)
+		f := c.FreqForBudget(budget, 1, 0.75)
+		if f >= c.Params().Curve.Fmax() {
+			return true // capped: power may be below budget
+		}
+		p := c.PlannedPower(f, 1, 0.75)
+		return p <= budget*1.01
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone: more budget, no less frequency.
+	f1 := c.FreqForBudget(1.5, 1, 0.75)
+	f2 := c.FreqForBudget(2.5, 1, 0.75)
+	if f2 < f1 {
+		t.Fatal("FreqForBudget not monotone")
+	}
+}
+
+func TestFreqForBudgetVminRegionLinear(t *testing.T) {
+	// Near the Vmin floor, power is ~linear in f, so a watt buys many
+	// MHz — the effect behind Fig. 10.
+	c, _ := NewCores(DefaultCoreParams())
+	fLow := c.FreqForBudget(0.45, 1, 0.75)
+	fMid := c.FreqForBudget(0.9, 1, 0.75)
+	if fLow >= fMid {
+		t.Fatal("budget not converted to frequency")
+	}
+	gainPerWatt := float64(fMid-fLow) / 0.45
+	fHi1 := c.FreqForBudget(2.5, 1, 0.75)
+	fHi2 := c.FreqForBudget(2.95, 1, 0.75)
+	gainPerWattHigh := float64(fHi2-fHi1) / 0.45
+	if gainPerWattHigh >= gainPerWatt {
+		t.Fatal("frequency per watt should shrink away from the Vmin floor")
+	}
+}
+
+func TestGfx(t *testing.T) {
+	g, err := NewGfx(DefaultGfxParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Frequency() != 0.3*vf.GHz {
+		t.Fatalf("gfx base = %v, want 300MHz (Table 2)", g.Frequency())
+	}
+	if err := g.SetPState(0.9 * vf.GHz); err != nil {
+		t.Fatal(err)
+	}
+	if g.Voltage() != DefaultGfxParams().Curve.VoltageAt(0.9*vf.GHz) {
+		t.Fatal("gfx voltage does not follow curve")
+	}
+	// Fused maximum: 1.0GHz.
+	if err := g.SetPState(2 * vf.GHz); err != nil {
+		t.Fatal(err)
+	}
+	if g.Frequency() != 1.0*vf.GHz {
+		t.Fatalf("gfx fused max broken: %v", g.Frequency())
+	}
+	if g.ActivePower(0.9) <= g.ActivePower(0.1) {
+		t.Fatal("gfx power not monotone in activity")
+	}
+	f := g.FreqForBudget(1.5, 0.85)
+	if p := g.PlannedPower(f, 0.85); f < g.Params().Curve.Fmax() && p > 1.52 {
+		t.Fatalf("gfx FreqForBudget overshoots: %v at %v", p, f)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	bad := DefaultCoreParams()
+	bad.Cores = 0
+	if _, err := NewCores(bad); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	bad2 := DefaultCoreParams()
+	bad2.Curve = nil
+	if _, err := NewCores(bad2); err == nil {
+		t.Fatal("nil curve accepted")
+	}
+	badG := DefaultGfxParams()
+	badG.BaseFreq = 0
+	if _, err := NewGfx(badG); err == nil {
+		t.Fatal("zero gfx base accepted")
+	}
+}
+
+func TestPlannedPowerMatchesActive(t *testing.T) {
+	c, _ := NewCores(DefaultCoreParams())
+	if err := c.SetPState(2.0 * vf.GHz); err != nil {
+		t.Fatal(err)
+	}
+	planned := c.PlannedPower(2.0*vf.GHz, 2, 0.75)
+	actual := c.ActivePower(2, 0.75)
+	if math.Abs(float64(planned-actual)) > 1e-9 {
+		t.Fatalf("planned %v != actual %v at same state", planned, actual)
+	}
+}

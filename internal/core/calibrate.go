@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"sysscale/internal/perfcounters"
+	"sysscale/internal/stats"
+)
+
+// CalibrationRun is one observation of the offline calibration phase
+// (§4.2): a workload's counter values at the high operating point and
+// the performance degradation it actually suffered at the low point.
+type CalibrationRun struct {
+	Counters    perfcounters.Sample
+	Degradation float64 // 1 - perfLow/perfHigh, in [0, 1)
+}
+
+// CalibrateThresholds implements the paper's threshold selection: mark
+// all runs whose degradation is below the bound, and for each counter
+// set Threshold = µ + σ over that population ([81] in the paper). The
+// static bandwidth threshold is supplied by the platform description
+// (it is a property of the operating point's usable bandwidth, not of
+// the calibration set).
+func CalibrateThresholds(runs []CalibrationRun, bound, staticBWThr float64) (Thresholds, error) {
+	if len(runs) == 0 {
+		return Thresholds{}, fmt.Errorf("core: no calibration runs")
+	}
+	if bound <= 0 || bound >= 1 {
+		return Thresholds{}, fmt.Errorf("core: degradation bound %.3f outside (0,1)", bound)
+	}
+	var safe []CalibrationRun
+	for _, r := range runs {
+		if r.Degradation < bound {
+			safe = append(safe, r)
+		}
+	}
+	if len(safe) == 0 {
+		return Thresholds{}, fmt.Errorf("core: no run below the %.1f%% bound; cannot calibrate", bound*100)
+	}
+	muSigma := func(id perfcounters.ID) float64 {
+		vals := make([]float64, len(safe))
+		for i, r := range safe {
+			vals[i] = r.Counters.Get(id)
+		}
+		m, s := stats.MeanStd(vals)
+		return m + s
+	}
+	t := Thresholds{
+		GfxMisses:   muSigma(perfcounters.GfxLLCMisses),
+		OccTracer:   muSigma(perfcounters.LLCOccupancyTracer),
+		LLCStalls:   muSigma(perfcounters.LLCStalls),
+		IORPQ:       muSigma(perfcounters.IORPQ),
+		StaticBWThr: staticBWThr,
+		DegradBound: bound,
+	}
+	return t, t.Validate()
+}
+
+// EnforceNoFalsePositives tightens thresholds until no calibration run
+// above the bound would be sent to the low point. The paper reports
+// the shipped algorithm has zero false positives (§4.2: "there are no
+// predictions where the algorithm decides to move the SoC to a lower
+// DVFS operating point while the actual performance degradation is
+// more than the bound"); µ+σ alone does not guarantee that on every
+// population, so the production firmware applies exactly this kind of
+// guard pass over the calibration set.
+//
+// For each unsafe run that no condition catches, the pass lowers the
+// threshold of the counter whose reduction misclassifies the fewest
+// safe runs (ties broken by the largest relative excess) — a greedy
+// minimum-collateral cover of the unsafe population.
+func EnforceNoFalsePositives(t Thresholds, runs []CalibrationRun) Thresholds {
+	ids := perfcounters.SysScaleCounters()
+	for _, r := range runs {
+		if r.Degradation < t.DegradBound {
+			continue
+		}
+		if Decide(t, StaticDemand{}, r.Counters).High {
+			continue
+		}
+		// Candidate: lower counter id's threshold to just below this
+		// run's value. Collateral: safe runs that currently pass all
+		// conditions but would trip the lowered one.
+		best := ids[0]
+		bestCollateral := int(^uint(0) >> 1)
+		bestRatio := -1.0
+		for _, id := range ids {
+			newThr := r.Counters.Get(id) * 0.999
+			if newThr <= 0 {
+				continue
+			}
+			collateral := 0
+			for _, s := range runs {
+				if s.Degradation >= t.DegradBound {
+					continue
+				}
+				if !Decide(t, StaticDemand{}, s.Counters).High && s.Counters.Get(id) > newThr {
+					collateral++
+				}
+			}
+			ratio := 0.0
+			if thr := t.counter(id); thr > 0 {
+				ratio = r.Counters.Get(id) / thr
+			}
+			if collateral < bestCollateral || (collateral == bestCollateral && ratio > bestRatio) {
+				best = id
+				bestCollateral = collateral
+				bestRatio = ratio
+			}
+		}
+		t.setCounter(best, r.Counters.Get(best)*0.999)
+	}
+	return t
+}
+
+func (t Thresholds) counter(id perfcounters.ID) float64 {
+	switch id {
+	case perfcounters.GfxLLCMisses:
+		return t.GfxMisses
+	case perfcounters.LLCOccupancyTracer:
+		return t.OccTracer
+	case perfcounters.LLCStalls:
+		return t.LLCStalls
+	case perfcounters.IORPQ:
+		return t.IORPQ
+	}
+	return 0
+}
+
+func (t *Thresholds) setCounter(id perfcounters.ID, v float64) {
+	switch id {
+	case perfcounters.GfxLLCMisses:
+		t.GfxMisses = v
+	case perfcounters.LLCOccupancyTracer:
+		t.OccTracer = v
+	case perfcounters.LLCStalls:
+		t.LLCStalls = v
+	case perfcounters.IORPQ:
+		t.IORPQ = v
+	}
+}
+
+// FalsePositiveCount returns how many runs in the set would be sent to
+// the low operating point despite a true degradation at or above the
+// bound. Used by tests and the Fig. 6 experiment to verify the
+// zero-false-positive property.
+func FalsePositiveCount(t Thresholds, runs []CalibrationRun) int {
+	n := 0
+	for _, r := range runs {
+		if r.Degradation >= t.DegradBound {
+			if !Decide(t, StaticDemand{}, r.Counters).High {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Accuracy returns the fraction of runs the threshold rule classifies
+// correctly: high-point runs are those with degradation >= bound.
+func Accuracy(t Thresholds, runs []CalibrationRun) float64 {
+	if len(runs) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, r := range runs {
+		wantHigh := r.Degradation >= t.DegradBound
+		gotHigh := Decide(t, StaticDemand{}, r.Counters).High
+		if wantHigh == gotHigh {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(runs))
+}

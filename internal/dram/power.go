@@ -1,0 +1,91 @@
+package dram
+
+import (
+	"sysscale/internal/power"
+	"sysscale/internal/vf"
+)
+
+// PowerParams hold the coefficients of the DRAM power model, following
+// the decomposition of §2.3: background power (maintenance + refresh),
+// operation power (array, IO, register, termination), with the memory
+// controller's share modeled separately in internal/memctrl.
+type PowerParams struct {
+	// Background.
+	BackgroundBase  power.Watt // frequency-independent maintenance floor
+	BackgroundPerHz power.Watt // per-hertz slope (background reduces linearly with f, §2.4)
+	SelfRefresh     power.Watt // retention-only draw
+	PowerDown       power.Watt // precharge power-down draw
+	RefreshAvg      power.Watt // average refresh overhead while active
+
+	// Operation.
+	ArrayEnergyPerByte float64    // J/B drawn by the array core (bandwidth proportional)
+	IOEnergyPerByte    float64    // J/B drawn by drivers/latches/DLL at the reference bin
+	RegisterPower      power.Watt // clock/command register + PLL draw while active
+	TerminationMax     power.Watt // termination draw at 100% interface utilization
+
+	ReferenceFreq vf.Hz // bin at which IOEnergyPerByte was characterized
+}
+
+// DefaultPowerParams returns coefficients representative of a
+// dual-channel LPDDR3-1600 module in a 4.5W-TDP platform. Absolute
+// values are synthetic but sized so the memory domain is a realistic
+// share of package power (several hundred milliwatts).
+func DefaultPowerParams() PowerParams {
+	return PowerParams{
+		BackgroundBase:     0.060,
+		BackgroundPerHz:    power.Watt(0.070 / (1.6e9)), // 70mW at 1.6GHz
+		SelfRefresh:        0.012,
+		PowerDown:          0.030,
+		RefreshAvg:         0.018,
+		ArrayEnergyPerByte: 20e-12, // 20 pJ/B
+		IOEnergyPerByte:    5e-12,  // 5 pJ/B at the reference bin
+		TerminationMax:     0.140,
+		RegisterPower:      0.025,
+		ReferenceFreq:      1.6 * vf.GHz,
+	}
+}
+
+// Draw computes the device's power draw for one epoch.
+//
+//	bwBytes  — achieved bandwidth in bytes/second during the epoch
+//	util     — interface utilization in [0, 1]
+//
+// The model captures the four §2.4 effects of memory DVFS:
+// background power falls linearly with frequency; per-access read/write
+// energy rises as frequency falls (each burst takes longer, modeled by
+// the reference-frequency scaling on IO energy); termination power
+// follows utilization (not frequency directly); and badly trained
+// interface trims inflate termination draw via Timing.TermEff.
+func (p PowerParams) Draw(d *Device, bwBytes, util float64) power.Watt {
+	switch d.State() {
+	case SelfRefresh:
+		return p.SelfRefresh
+	case PowerDown:
+		return p.PowerDown
+	}
+	f := d.Frequency()
+	bg := p.BackgroundBase + power.Watt(float64(p.BackgroundPerHz)*float64(f)) + p.RefreshAvg
+
+	array := power.Watt(p.ArrayEnergyPerByte * bwBytes)
+
+	// IO energy per byte grows as the clock slows: the burst occupies
+	// the pins longer, so drivers and DLL stay active longer per bit.
+	ioScale := 1.0
+	if f > 0 {
+		ioScale = float64(p.ReferenceFreq) / float64(f)
+		if ioScale < 1 {
+			ioScale = 1 // faster-than-reference bins do not reduce below characterized energy
+		}
+	}
+	io := power.Watt(p.IOEnergyPerByte * bwBytes * ioScale)
+
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	term := power.Watt(float64(p.TerminationMax) * util * d.Timing().TermEff)
+
+	return bg + array + io + term + p.RegisterPower
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sysscale/internal/core"
+	"sysscale/internal/policy"
+	"sysscale/internal/sim"
+	"sysscale/internal/soc"
+	"sysscale/internal/stats"
+	"sysscale/internal/workload"
+)
+
+// AblationResult holds the design-choice ablations DESIGN.md calls out.
+// Each entry compares full SysScale against a variant with one design
+// element removed, averaged over a representative workload set.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// AblationRow is one ablation's outcome.
+type AblationRow struct {
+	Name        string
+	Description string
+	// AvgGain is the variant's average SPEC performance improvement
+	// over baseline (full SysScale's figure in the first row).
+	AvgGain float64
+	// AvgBatterySaving is the variant's average battery power saving.
+	AvgBatterySaving float64
+}
+
+// ablationWorkloads is a representative subset (keeps the ablation
+// sweep fast while covering the bottleneck spectrum).
+var ablationWorkloads = []string{
+	"416.gamess", "400.perlbench", "445.gobmk", "403.gcc", "436.cactusADM", "470.lbm",
+}
+
+// Ablations runs the ablation suite.
+func Ablations() (AblationResult, error) {
+	var res AblationResult
+
+	type variant struct {
+		name, desc string
+		mk         func() soc.Policy
+		mut        func(*soc.Config)
+	}
+	variants := []variant{
+		{
+			name: "full", desc: "SysScale as shipped",
+			mk: func() soc.Policy { return policy.NewSysScaleDefault() },
+		},
+		{
+			name: "no-mrc-reload", desc: "keep boot MRC image across transitions (Observation 4 inside the policy)",
+			mk: func() soc.Policy {
+				s := policy.NewSysScaleDefault()
+				return policy.WithoutOptimizedMRC(s)
+			},
+		},
+		{
+			name: "no-redistribution", desc: "scale IO+memory domains but keep baseline compute budget",
+			mk: func() soc.Policy {
+				s := policy.NewSysScaleDefault()
+				return policy.WithoutRedistribution(s)
+			},
+		},
+		{
+			name: "interval-5ms", desc: "evaluation interval 5ms instead of 30ms",
+			mk:  func() soc.Policy { return policy.NewSysScaleDefault() },
+			mut: func(c *soc.Config) { c.EvalInterval = 5 * sim.Millisecond },
+		},
+		{
+			name: "interval-120ms", desc: "evaluation interval 120ms instead of 30ms",
+			mk:  func() soc.Policy { return policy.NewSysScaleDefault() },
+			mut: func(c *soc.Config) { c.EvalInterval = 120 * sim.Millisecond },
+		},
+		{
+			name: "threshold-2x", desc: "decision thresholds doubled (laxer low-point gate)",
+			mk: func() soc.Policy {
+				thr := policy.DefaultThresholds()
+				thr.OccTracer *= 2
+				thr.LLCStalls *= 2
+				thr.GfxMisses *= 2
+				thr.IORPQ *= 2
+				return policy.NewSysScale(thr)
+			},
+		},
+		{
+			name: "threshold-half", desc: "decision thresholds halved (stricter low-point gate)",
+			mk: func() soc.Policy {
+				thr := policy.DefaultThresholds()
+				thr.OccTracer /= 2
+				thr.LLCStalls /= 2
+				thr.GfxMisses /= 2
+				thr.IORPQ /= 2
+				return policy.NewSysScale(thr)
+			},
+		},
+	}
+
+	for _, v := range variants {
+		var gain float64
+		for _, name := range ablationWorkloads {
+			w, err := workload.SPEC(name)
+			if err != nil {
+				return res, err
+			}
+			base, err := runPolicy(w, policy.NewBaseline(), v.mut)
+			if err != nil {
+				return res, err
+			}
+			r, err := runPolicy(w, v.mk(), v.mut)
+			if err != nil {
+				return res, err
+			}
+			gain += soc.PerfImprovement(r, base)
+		}
+		gain /= float64(len(ablationWorkloads))
+
+		var saving float64
+		for _, w := range workload.BatterySuite() {
+			base, err := runPolicy(w, policy.NewBaseline(), v.mut)
+			if err != nil {
+				return res, err
+			}
+			r, err := runPolicy(w, v.mk(), v.mut)
+			if err != nil {
+				return res, err
+			}
+			saving += soc.PowerReduction(r, base)
+		}
+		saving /= float64(len(workload.BatterySuite()))
+
+		res.Rows = append(res.Rows, AblationRow{
+			Name: v.name, Description: v.desc,
+			AvgGain: gain, AvgBatterySaving: saving,
+		})
+	}
+	return res, nil
+}
+
+func (r AblationResult) String() string {
+	tab := stats.NewTable("Ablations (subset of SPEC + battery suite)",
+		"Variant", "SPEC gain", "Battery saving", "Description")
+	for _, row := range r.Rows {
+		tab.AddRow(row.Name, pct(row.AvgGain), pct(row.AvgBatterySaving), row.Description)
+	}
+	return tab.String()
+}
+
+// CalibrationResult documents how the shipped DefaultThresholds were
+// produced: the µ+σ rule over the below-bound population of a seeded
+// synthetic sweep, then the zero-false-positive guard pass (§4.2).
+type CalibrationResult struct {
+	Thresholds core.Thresholds
+	Runs       int
+	Accuracy   float64
+	FalsePos   int
+}
+
+// Calibrate regenerates the threshold calibration on the default
+// platform.
+func Calibrate(count int, seed uint64) (CalibrationResult, error) {
+	if count <= 0 {
+		count = 160
+	}
+	// The calibration population mixes the synthetic sweep with the
+	// office-productivity set, mirroring the paper's representative
+	// workload mix (footnote 6: SPEC, SYSmark, MobileMark, 3DMark).
+	ws := workload.Synthetic(workload.SyntheticSpec{Class: workload.CPUSingleThread, Count: count, Seed: seed})
+	ws = append(ws, workload.ProductivitySuite()...)
+	var runs []core.CalibrationRun
+	for _, w := range ws {
+		cfg := soc.DefaultConfig()
+		cfg.Workload = w
+		cfg.Duration = 600 * sim.Millisecond
+		cfg.FixedCoreFreq = 2.0 * 1e9
+		cfgHigh := cfg
+		cfgHigh.Policy = policy.NewStaticPoint(0, false)
+		high, err := soc.Run(cfgHigh)
+		if err != nil {
+			return CalibrationResult{}, err
+		}
+		cfgLow := cfg
+		cfgLow.Policy = policy.NewStaticPoint(1, false)
+		low, err := soc.Run(cfgLow)
+		if err != nil {
+			return CalibrationResult{}, err
+		}
+		if high.Score <= 0 {
+			continue
+		}
+		runs = append(runs, core.CalibrationRun{
+			Counters:    high.CounterAvg,
+			Degradation: 1 - low.Score/high.Score,
+		})
+	}
+	thr, err := core.CalibrateThresholds(runs, 0.03, 6.5e9)
+	if err != nil {
+		return CalibrationResult{}, err
+	}
+	thr = core.EnforceNoFalsePositives(thr, runs)
+	return CalibrationResult{
+		Thresholds: thr,
+		Runs:       len(runs),
+		Accuracy:   core.Accuracy(thr, runs),
+		FalsePos:   core.FalsePositiveCount(thr, runs),
+	}, nil
+}
+
+func (r CalibrationResult) String() string {
+	return fmt.Sprintf("Calibration over %d runs: thr={occ %.2f, stalls %.2f, gfx %.3g, iorpq %.2f}, accuracy %.1f%%, false positives %d\n",
+		r.Runs, r.Thresholds.OccTracer, r.Thresholds.LLCStalls, r.Thresholds.GfxMisses,
+		r.Thresholds.IORPQ, 100*r.Accuracy, r.FalsePos)
+}

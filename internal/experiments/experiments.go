@@ -1,0 +1,60 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation: the §3 motivation experiments (Fig. 2-4), the
+// flow-latency budget (Fig. 5 / §5), the prediction study (Fig. 6),
+// the main results (Figs. 7-9), the TDP sensitivity study (Fig. 10),
+// the §7.4 DRAM sensitivity analyses, and the design-choice ablations
+// called out in DESIGN.md.
+//
+// Each experiment is a pure function returning a typed result with a
+// String() rendering; cmd/experiments and the benchmark harness are
+// thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+
+	"sysscale/internal/policy"
+	"sysscale/internal/sim"
+	"sysscale/internal/soc"
+	"sysscale/internal/workload"
+)
+
+// minRunTime keeps short workloads running long enough to cover PMU
+// intervals and phase loops.
+const minRunTime = 2 * sim.Second
+
+// baseConfig returns the Table 2 platform configured for a workload,
+// covering at least two full loops of its phases.
+func baseConfig(w workload.Workload) soc.Config {
+	cfg := soc.DefaultConfig()
+	cfg.Workload = w
+	cfg.Duration = 2 * w.TotalDuration()
+	if cfg.Duration < minRunTime {
+		cfg.Duration = minRunTime
+	}
+	return cfg
+}
+
+// runPolicy executes one workload under one policy on the default
+// platform.
+func runPolicy(w workload.Workload, p soc.Policy, mut func(*soc.Config)) (soc.Result, error) {
+	cfg := baseConfig(w)
+	cfg.Policy = p
+	if mut != nil {
+		mut(&cfg)
+	}
+	return soc.Run(cfg)
+}
+
+// pair runs baseline and SysScale on the same configuration.
+func pair(w workload.Workload, mut func(*soc.Config)) (base, sys soc.Result, err error) {
+	base, err = runPolicy(w, policy.NewBaseline(), mut)
+	if err != nil {
+		return
+	}
+	sys, err = runPolicy(w, policy.NewSysScaleDefault(), mut)
+	return
+}
+
+// pct formats a fraction as a signed percentage.
+func pct(f float64) string { return fmt.Sprintf("%+.1f%%", 100*f) }

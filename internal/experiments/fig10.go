@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sysscale/internal/power"
+	"sysscale/internal/soc"
+	"sysscale/internal/stats"
+	"sysscale/internal/workload"
+)
+
+// Fig10Row is one TDP's distribution of SPEC improvements.
+type Fig10Row struct {
+	TDP     power.Watt
+	Summary stats.ViolinSummary
+	Gains   []float64
+}
+
+// Fig10Result reproduces Fig. 10: SysScale's SPEC CPU2006 performance
+// benefit versus TDP, as violin distributions (paper: 3.5W up to 33%,
+// 19.1% average; benefit shrinks as TDP grows because power becomes
+// ample and redistribution matters less).
+type Fig10Result struct{ Rows []Fig10Row }
+
+// Fig10TDPs are the evaluated thermal design points.
+func Fig10TDPs() []power.Watt { return []power.Watt{3.5, 4.5, 7, 15} }
+
+// Fig10 sweeps the TDPs over the full SPEC suite.
+func Fig10() (Fig10Result, error) {
+	var res Fig10Result
+	for _, tdp := range Fig10TDPs() {
+		var gains []float64
+		for _, w := range workload.SPECSuite() {
+			mut := func(c *soc.Config) { c.TDP = tdp }
+			base, sys, err := pair(w, mut)
+			if err != nil {
+				return res, err
+			}
+			gains = append(gains, 100*soc.PerfImprovement(sys, base))
+		}
+		res.Rows = append(res.Rows, Fig10Row{TDP: tdp, Summary: stats.Violin(gains), Gains: gains})
+	}
+	return res, nil
+}
+
+func (r Fig10Result) String() string {
+	tab := stats.NewTable("Fig. 10: SysScale benefit vs TDP (SPEC CPU2006, % improvement)",
+		"TDP", "Min", "P25", "Median", "P75", "Max", "Mean")
+	for _, row := range r.Rows {
+		v := row.Summary
+		tab.AddRow(fmt.Sprintf("%.1fW", float64(row.TDP)),
+			fmt.Sprintf("%.1f", v.Min), fmt.Sprintf("%.1f", v.P25),
+			fmt.Sprintf("%.1f", v.Median), fmt.Sprintf("%.1f", v.P75),
+			fmt.Sprintf("%.1f", v.Max), fmt.Sprintf("%.1f", v.Mean))
+	}
+	violin := stats.NewViolinChart("Distribution per TDP (violin summary)", 50)
+	for _, row := range r.Rows {
+		violin.Add(fmt.Sprintf("%.1fW", float64(row.TDP)), row.Summary)
+	}
+	return tab.String() + violin.String() + "paper: 3.5W up to 33% (avg 19.1%); benefit decreases with TDP\n"
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sysscale/internal/policy"
+	"sysscale/internal/sim"
+	"sysscale/internal/soc"
+	"sysscale/internal/stats"
+	"sysscale/internal/vf"
+	"sysscale/internal/workload"
+)
+
+// fig2Workloads are the three benchmarks of the §3 motivation study.
+var fig2Workloads = []string{"400.perlbench", "436.cactusADM", "470.lbm"}
+
+// Fig2aRow holds one benchmark's MD-DVFS-vs-baseline deltas.
+type Fig2aRow struct {
+	Name string
+	// All values are fractions relative to the baseline setup
+	// (negative = reduction).
+	PowerDelta  float64
+	EnergyDelta float64
+	PerfDelta   float64
+	EDPDelta    float64
+	// PerfAt13GHz is the performance versus baseline when the saved
+	// budget raises the cores from 1.2 to 1.3GHz under MD-DVFS.
+	PerfAt13GHz float64
+}
+
+// Fig2aResult reproduces Fig. 2(a): the impact of the static MD-DVFS
+// setup (Table 1) on power, energy, performance and EDP, plus the
+// 1.3GHz-core redistribution variant.
+type Fig2aResult struct {
+	Rows []Fig2aRow
+}
+
+// Fig2a runs the motivation experiment on the emulated Broadwell
+// platform: CPU cores pinned at 1.2GHz, IO and memory domains either
+// at the baseline point or statically at the MD-DVFS point.
+func Fig2a() (Fig2aResult, error) {
+	var out Fig2aResult
+	for _, name := range fig2Workloads {
+		w, err := workload.SPEC(name)
+		if err != nil {
+			return out, err
+		}
+		pin := func(f vf.Hz) func(*soc.Config) {
+			return func(c *soc.Config) { c.FixedCoreFreq = f }
+		}
+		base, err := runPolicy(w, policy.NewBaseline(), pin(1.2*vf.GHz))
+		if err != nil {
+			return out, err
+		}
+		md, err := runPolicy(w, policy.NewStaticPoint(1, false), pin(1.2*vf.GHz))
+		if err != nil {
+			return out, err
+		}
+		md13, err := runPolicy(w, policy.NewStaticPoint(1, true), pin(1.3*vf.GHz))
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, Fig2aRow{
+			Name:        name,
+			PowerDelta:  float64(md.AvgPower/base.AvgPower) - 1,
+			EnergyDelta: -soc.EnergyReduction(md, base),
+			PerfDelta:   soc.PerfImprovement(md, base),
+			EDPDelta:    -soc.EDPImprovement(md, base),
+			PerfAt13GHz: soc.PerfImprovement(md13, base),
+		})
+	}
+	return out, nil
+}
+
+func (r Fig2aResult) String() string {
+	tab := stats.NewTable("Fig. 2(a): MD-DVFS impact vs baseline (core pinned 1.2GHz)",
+		"Benchmark", "AvgPower", "Energy", "Perf", "EDP", "Perf@1.3GHz")
+	for _, row := range r.Rows {
+		tab.AddRow(row.Name, pct(row.PowerDelta), pct(row.EnergyDelta),
+			pct(row.PerfDelta), pct(row.EDPDelta), pct(row.PerfAt13GHz))
+	}
+	return tab.String()
+}
+
+// Fig2bRow is one benchmark's bottleneck decomposition.
+type Fig2bRow struct {
+	Name       string
+	MemLatency float64
+	MemBW      float64
+	NonMemory  float64
+}
+
+// Fig2bResult reproduces Fig. 2(b): what fraction of each workload's
+// performance is bound by memory latency, memory bandwidth, or
+// non-main-memory events.
+type Fig2bResult struct{ Rows []Fig2bRow }
+
+// Fig2b reports the bottleneck analysis from the workload profiles
+// (the paper derives it from top-down counters on the same machine).
+func Fig2b() (Fig2bResult, error) {
+	var out Fig2bResult
+	for _, name := range fig2Workloads {
+		w, err := workload.SPEC(name)
+		if err != nil {
+			return out, err
+		}
+		var lat, bw float64
+		var tot sim.Time
+		for _, ph := range w.Phases {
+			lat += ph.MemLatFrac * ph.Duration.Seconds()
+			bw += ph.MemBWFrac * ph.Duration.Seconds()
+			tot += ph.Duration
+		}
+		lat /= tot.Seconds()
+		bw /= tot.Seconds()
+		out.Rows = append(out.Rows, Fig2bRow{
+			Name:       name,
+			MemLatency: lat,
+			MemBW:      bw,
+			NonMemory:  1 - lat - bw,
+		})
+	}
+	return out, nil
+}
+
+func (r Fig2bResult) String() string {
+	tab := stats.NewTable("Fig. 2(b): bottleneck analysis",
+		"Benchmark", "MemLatency", "MemBW", "Non-memory")
+	for _, row := range r.Rows {
+		tab.AddRow(row.Name,
+			fmt.Sprintf("%.0f%%", 100*row.MemLatency),
+			fmt.Sprintf("%.0f%%", 100*row.MemBW),
+			fmt.Sprintf("%.0f%%", 100*row.NonMemory))
+	}
+	return tab.String()
+}
+
+// Fig2cResult reproduces Fig. 2(c): memory bandwidth demand over time
+// for the three motivation benchmarks.
+type Fig2cResult struct {
+	Names  []string
+	Series [][]float64 // GB/s sampled every 100ms
+}
+
+// Fig2c samples each benchmark's demand trace.
+func Fig2c() (Fig2cResult, error) {
+	var out Fig2cResult
+	for _, name := range fig2Workloads {
+		w, err := workload.SPEC(name)
+		if err != nil {
+			return out, err
+		}
+		samples := w.BWOverTime(100 * sim.Millisecond)
+		gb := make([]float64, len(samples))
+		for i, s := range samples {
+			gb[i] = s / 1e9
+		}
+		out.Names = append(out.Names, name)
+		out.Series = append(out.Series, gb)
+	}
+	return out, nil
+}
+
+func (r Fig2cResult) String() string {
+	tab := stats.NewTable("Fig. 2(c): memory BW demand over time (GB/s, 100ms samples)",
+		"Benchmark", "Min", "Mean", "Max")
+	for i, name := range r.Names {
+		tab.AddRowf(name, stats.Min(r.Series[i]), stats.Mean(r.Series[i]), stats.Max(r.Series[i]))
+	}
+	return tab.String()
+}

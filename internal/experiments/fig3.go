@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sysscale/internal/ioengine"
+	"sysscale/internal/sim"
+	"sysscale/internal/stats"
+	"sysscale/internal/workload"
+)
+
+// Fig3aResult reproduces Fig. 3(a): memory-bandwidth demand over time
+// for three SPEC benchmarks and the 3DMark graphics benchmark.
+type Fig3aResult struct {
+	Names  []string
+	Series [][]float64 // GB/s, 100ms samples
+}
+
+// fig3aWorkloads returns the four traced workloads.
+func fig3aWorkloads() ([]workload.Workload, error) {
+	var out []workload.Workload
+	for _, n := range []string{"400.perlbench", "470.lbm", "473.astar"} {
+		w, err := workload.SPEC(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return append(out, workload.ThreeDMark06()), nil
+}
+
+// Fig3a samples the demand traces.
+func Fig3a() (Fig3aResult, error) {
+	ws, err := fig3aWorkloads()
+	if err != nil {
+		return Fig3aResult{}, err
+	}
+	var out Fig3aResult
+	for _, w := range ws {
+		samples := w.BWOverTime(100 * sim.Millisecond)
+		gb := make([]float64, len(samples))
+		for i, s := range samples {
+			gb[i] = s / 1e9
+		}
+		out.Names = append(out.Names, w.Name)
+		out.Series = append(out.Series, gb)
+	}
+	return out, nil
+}
+
+func (r Fig3aResult) String() string {
+	tab := stats.NewTable("Fig. 3(a): memory BW demand over time (GB/s)",
+		"Workload", "Min", "Mean", "Max")
+	for i, n := range r.Names {
+		tab.AddRowf(n, stats.Min(r.Series[i]), stats.Mean(r.Series[i]), stats.Max(r.Series[i]))
+	}
+	return tab.String()
+}
+
+// Fig3bRow is one IO/compute engine configuration's static bandwidth
+// demand.
+type Fig3bRow struct {
+	Engine   string
+	Config   string
+	GBps     float64
+	PeakFrac float64 // of dual-channel LPDDR3-1600 peak (25.6GB/s)
+}
+
+// Fig3bResult reproduces Fig. 3(b): average memory-bandwidth demand of
+// the display engine, ISP engine and graphics engines across
+// configurations. The paper's anchor points: an HD panel needs ~17% of
+// peak, a single 4K panel ~70%.
+type Fig3bResult struct{ Rows []Fig3bRow }
+
+// Fig3b evaluates the static-demand tables.
+func Fig3b() Fig3bResult {
+	const peak = 25.6 // GB/s
+	var out Fig3bResult
+	add := func(engine, config string, bytesPerSec float64) {
+		out.Rows = append(out.Rows, Fig3bRow{
+			Engine:   engine,
+			Config:   config,
+			GBps:     bytesPerSec / 1e9,
+			PeakFrac: bytesPerSec / (peak * 1e9),
+		})
+	}
+	panels := []struct {
+		res ioengine.Resolution
+		n   int
+	}{
+		{ioengine.DisplayHD, 1},
+		{ioengine.DisplayFHD, 1},
+		{ioengine.DisplayQHD, 1},
+		{ioengine.Display4K, 1},
+		{ioengine.DisplayHD, 3},
+	}
+	for _, p := range panels {
+		var csr ioengine.CSR
+		for i := 0; i < p.n && i < ioengine.MaxPanels; i++ {
+			csr.Panels[i] = ioengine.Panel{Res: p.res, RefreshHz: 60}
+		}
+		name := fmt.Sprintf("%dx %v@60", p.n, p.res)
+		add("display", name, csr.DisplayBandwidth())
+	}
+	for _, m := range []ioengine.CameraMode{ioengine.Camera720p, ioengine.Camera1080p, ioengine.Camera4K} {
+		add("ISP", m.String(), m.Bandwidth())
+	}
+	for _, w := range workload.GraphicsSuite() {
+		add("GFX", w.Name, w.AvgMemBW())
+	}
+	return out
+}
+
+func (r Fig3bResult) String() string {
+	tab := stats.NewTable("Fig. 3(b): static memory BW demand per engine configuration",
+		"Engine", "Configuration", "GB/s", "% of peak")
+	for _, row := range r.Rows {
+		tab.AddRow(row.Engine, row.Config, fmt.Sprintf("%.2f", row.GBps),
+			fmt.Sprintf("%.0f%%", 100*row.PeakFrac))
+	}
+	return tab.String()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sysscale/internal/policy"
+	"sysscale/internal/soc"
+	"sysscale/internal/vf"
+	"sysscale/internal/workload"
+)
+
+// Fig4Result reproduces Fig. 4: the impact of unoptimized MRC values
+// on power and performance for a peak-bandwidth microbenchmark
+// (paper: average power +22%, performance −10%).
+type Fig4Result struct {
+	// PowerIncrease is the package average-power increase of the
+	// unoptimized configuration relative to optimized, at the same
+	// (low) operating point.
+	PowerIncrease float64
+	// MemPowerIncrease isolates the memory-domain rails (V_SA memory
+	// share aside, VDDQ + V_IO), where the termination and IO penalties
+	// land.
+	MemPowerIncrease float64
+	// PerfDegradation is the score loss of unoptimized vs optimized.
+	PerfDegradation float64
+}
+
+// Fig4 pins the platform at the low operating point with the CPU at
+// 1.2GHz and runs the STREAM-like microbenchmark twice: once with the
+// per-frequency trained register image, once keeping the boot (1.6GHz)
+// image — the Observation 4 failure mode.
+func Fig4() (Fig4Result, error) {
+	w := workload.Stream()
+	pin := func(c *soc.Config) { c.FixedCoreFreq = 1.2 * vf.GHz }
+
+	opt, err := runPolicy(w, policy.NewStaticPoint(1, false), pin)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	unoptPolicy := policy.NewStaticPoint(1, false)
+	unoptPolicy.OptimizedMRC = false
+	unopt, err := runPolicy(w, unoptPolicy, pin)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+
+	memOpt := opt.RailAvg[vf.RailVDDQ] + opt.RailAvg[vf.RailVIO]
+	memUnopt := unopt.RailAvg[vf.RailVDDQ] + unopt.RailAvg[vf.RailVIO]
+
+	res := Fig4Result{
+		PowerIncrease:   float64(unopt.AvgPower/opt.AvgPower) - 1,
+		PerfDegradation: 1 - unopt.Score/opt.Score,
+	}
+	if memOpt > 0 {
+		res.MemPowerIncrease = float64(memUnopt/memOpt) - 1
+	}
+	return res, nil
+}
+
+func (r Fig4Result) String() string {
+	return fmt.Sprintf(
+		"Fig. 4: unoptimized vs optimized MRC at the low point (STREAM-like)\n"+
+			"  package avg power increase: %s (paper: +22%% on measured rails)\n"+
+			"  memory-rail power increase: %s\n"+
+			"  performance degradation:    %s (paper: -10%%)\n",
+		pct(r.PowerIncrease), pct(r.MemPowerIncrease), pct(-r.PerfDegradation))
+}

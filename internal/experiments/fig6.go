@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sysscale/internal/core"
+	"sysscale/internal/policy"
+	"sysscale/internal/sim"
+	"sysscale/internal/soc"
+	"sysscale/internal/stats"
+	"sysscale/internal/vf"
+	"sysscale/internal/workload"
+)
+
+// Fig. 6 evaluates the dynamic-demand predictor on >1600 workloads
+// across nine panels: three DRAM frequency pairs (1.6→0.8, 1.6→1.06,
+// 2.13→1.06 GHz) × three workload classes (CPU single-thread, CPU
+// multi-thread, graphics). For each workload we measure the actual
+// normalized performance at the low bin, train the four-counter linear
+// predictor on half the population, and report the actual-vs-predicted
+// correlation, the threshold rule's classification accuracy, and its
+// false-positive count (the paper reports zero false positives).
+
+// Fig6Pair identifies one frequency pair.
+type Fig6Pair struct {
+	Name      string
+	High, Low vf.OperatingPoint
+}
+
+// Fig6Pairs returns the paper's three pairs.
+func Fig6Pairs() []Fig6Pair {
+	return []Fig6Pair{
+		{Name: "1.6GHz->0.8GHz", High: vf.MakeOperatingPoint("high", 1.6*vf.GHz, 0.8*vf.GHz), Low: vf.MakeOperatingPoint("low", 0.8*vf.GHz, 0.4*vf.GHz)},
+		{Name: "1.6GHz->1.06GHz", High: vf.MakeOperatingPoint("high", 1.6*vf.GHz, 0.8*vf.GHz), Low: vf.MakeOperatingPoint("low", 1.06*vf.GHz, 0.4*vf.GHz)},
+		{Name: "2.13GHz->1.06GHz", High: vf.MakeOperatingPoint("high", 2.13*vf.GHz, 0.9*vf.GHz), Low: vf.MakeOperatingPoint("low", 1.06*vf.GHz, 0.4*vf.GHz)},
+	}
+}
+
+// Fig6Panel is one panel's outcome.
+type Fig6Panel struct {
+	Pair        string
+	Class       workload.Class
+	Workloads   int
+	Correlation float64
+	Accuracy    float64
+	FalsePos    int
+	MeanActual  float64 // mean normalized performance at the low bin
+}
+
+// Fig6Result aggregates the nine panels.
+type Fig6Result struct {
+	Panels []Fig6Panel
+	Total  int
+}
+
+// Fig6Options size the study. Defaults reproduce the paper's scale
+// (>1600 workloads); tests use smaller counts.
+type Fig6Options struct {
+	PerPanel int
+	Duration sim.Time
+	Seed     uint64
+	// Bound is the acceptable degradation for the threshold rule.
+	Bound float64
+	// NoiseFrac adds seeded multiplicative measurement noise to the
+	// counters and measured scores, standing in for the run-to-run
+	// variation of the paper's real-system measurements.
+	NoiseFrac float64
+}
+
+// DefaultFig6Options returns the full-scale study.
+func DefaultFig6Options() Fig6Options {
+	return Fig6Options{
+		PerPanel:  180, // 9 panels x 180 = 1620 workloads
+		Duration:  600 * sim.Millisecond,
+		Seed:      42,
+		Bound:     0.03,
+		NoiseFrac: 0.012,
+	}
+}
+
+// Fig6 runs the prediction study.
+func Fig6(opt Fig6Options) (Fig6Result, error) {
+	if opt.PerPanel <= 0 {
+		opt = DefaultFig6Options()
+	}
+	classes := []workload.Class{workload.CPUSingleThread, workload.CPUMultiThread, workload.Graphics}
+	var res Fig6Result
+	rng := sim.NewRNG(opt.Seed)
+	for pi, pair := range Fig6Pairs() {
+		for ci, class := range classes {
+			panel, err := fig6Panel(pair, class, opt, rng.Uint64()+uint64(pi*31+ci*7))
+			if err != nil {
+				return res, fmt.Errorf("fig6 %s/%v: %w", pair.Name, class, err)
+			}
+			res.Panels = append(res.Panels, panel)
+			res.Total += panel.Workloads
+		}
+	}
+	return res, nil
+}
+
+func fig6Panel(pair Fig6Pair, class workload.Class, opt Fig6Options, seed uint64) (Fig6Panel, error) {
+	ws := workload.Synthetic(workload.SyntheticSpec{Class: class, Count: opt.PerPanel, Seed: seed})
+	noise := sim.NewRNG(seed ^ 0xabcdef)
+
+	samples := make([]core.TrainingSample, 0, len(ws))
+	runs := make([]core.CalibrationRun, 0, len(ws))
+	ladder := []vf.OperatingPoint{pair.High, pair.Low}
+
+	for _, w := range ws {
+		cfg := soc.DefaultConfig()
+		cfg.Workload = w
+		cfg.Duration = opt.Duration
+		cfg.Ladder = ladder
+		// Pin compute clocks so both runs differ only in the IO+memory
+		// operating point.
+		cfg.FixedCoreFreq = 2.0 * vf.GHz
+		if class == workload.Graphics {
+			cfg.FixedGfxFreq = 0.85 * vf.GHz
+		}
+
+		cfgHigh := cfg
+		cfgHigh.Policy = policy.NewStaticPoint(0, false)
+		high, err := soc.Run(cfgHigh)
+		if err != nil {
+			return Fig6Panel{}, err
+		}
+		cfgLow := cfg
+		cfgLow.Policy = policy.NewStaticPoint(1, false)
+		low, err := soc.Run(cfgLow)
+		if err != nil {
+			return Fig6Panel{}, err
+		}
+		if high.Score <= 0 {
+			continue
+		}
+		norm := low.Score / high.Score
+		if norm > 1 {
+			norm = 1
+		}
+		// Measurement noise on score and counters.
+		norm *= 1 + noise.Norm(0, opt.NoiseFrac)
+		if norm > 1 {
+			norm = 1
+		}
+		counters := high.CounterAvg
+		for i := range counters {
+			// Counter noise is far smaller than score noise: counters
+			// are averaged over the whole run by the PMU.
+			counters[i] *= 1 + noise.Norm(0, opt.NoiseFrac/3)
+			if counters[i] < 0 {
+				counters[i] = 0
+			}
+		}
+		samples = append(samples, core.TrainingSample{Counters: counters, NormPerf: norm})
+		runs = append(runs, core.CalibrationRun{Counters: counters, Degradation: 1 - norm})
+	}
+	if len(samples) < 16 {
+		return Fig6Panel{}, fmt.Errorf("too few usable samples (%d)", len(samples))
+	}
+
+	// Train on the even half, evaluate on the full population.
+	var train []core.TrainingSample
+	for i, s := range samples {
+		if i%2 == 0 {
+			train = append(train, s)
+		}
+	}
+	var pred core.Predictor
+	if err := pred.Train(train); err != nil {
+		return Fig6Panel{}, err
+	}
+	corr := pred.EvaluatePrediction(samples)
+
+	thr, err := core.CalibrateThresholds(runs, opt.Bound, 6.5e9)
+	if err != nil {
+		return Fig6Panel{}, err
+	}
+	thr = core.EnforceNoFalsePositives(thr, runs)
+
+	var meanActual float64
+	for _, s := range samples {
+		meanActual += s.NormPerf
+	}
+	meanActual /= float64(len(samples))
+
+	return Fig6Panel{
+		Pair:        pair.Name,
+		Class:       class,
+		Workloads:   len(samples),
+		Correlation: corr,
+		Accuracy:    core.Accuracy(thr, runs),
+		FalsePos:    core.FalsePositiveCount(thr, runs),
+		MeanActual:  meanActual,
+	}, nil
+}
+
+func (r Fig6Result) String() string {
+	tab := stats.NewTable(fmt.Sprintf("Fig. 6: actual vs predicted performance (%d workloads)", r.Total),
+		"Pair", "Class", "N", "Correlation", "Accuracy", "FalsePos", "MeanNormPerf")
+	for _, p := range r.Panels {
+		tab.AddRow(p.Pair, p.Class.String(), fmt.Sprintf("%d", p.Workloads),
+			fmt.Sprintf("%.2f", p.Correlation), fmt.Sprintf("%.1f%%", 100*p.Accuracy),
+			fmt.Sprintf("%d", p.FalsePos), fmt.Sprintf("%.3f", p.MeanActual))
+	}
+	return tab.String()
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sysscale/internal/policy"
+	"sysscale/internal/soc"
+	"sysscale/internal/stats"
+	"sysscale/internal/vf"
+	"sysscale/internal/workload"
+)
+
+// Fig7Row is one SPEC benchmark's outcome.
+type Fig7Row struct {
+	Name string
+	// Projected comparators, following the paper's §6 methodology
+	// (power-savings estimate → budget → frequency → scalability).
+	MemScaleR float64
+	CoScaleR  float64
+	// SysScale is the measured (simulated closed-loop) improvement.
+	SysScale float64
+	// SimMemScaleR and SimCoScaleR are the honest closed-loop policy
+	// simulations, which additionally expose the penalties (detuned
+	// registers, shared rails) the projection ignores.
+	SimMemScaleR float64
+	SimCoScaleR  float64
+	// LowResidency is SysScale's time share below the top point.
+	LowResidency float64
+}
+
+// Fig7Result reproduces Fig. 7: per-benchmark and average performance
+// improvement of MemScale-Redist, CoScale-Redist and SysScale on SPEC
+// CPU2006 (paper averages: 1.7%, 3.8%, 9.2%; SysScale up to 16%).
+type Fig7Result struct {
+	Rows []Fig7Row
+	// Averages across the suite.
+	AvgMemScaleR, AvgCoScaleR, AvgSysScale float64
+	MaxSysScale                            float64
+}
+
+// Fig7 runs the full SPEC CPU2006 suite.
+func Fig7() (Fig7Result, error) {
+	var res Fig7Result
+	high, low := vf.HighPoint(), vf.LowPoint()
+	for _, w := range workload.SPECSuite() {
+		base, sys, err := pair(w, nil)
+		if err != nil {
+			return res, err
+		}
+		row := Fig7Row{
+			Name:         w.Name,
+			SysScale:     soc.PerfImprovement(sys, base),
+			LowResidency: 1 - sys.PointResidency[0],
+		}
+
+		cfg := baseConfig(w)
+		cfg.Policy = policy.NewBaseline()
+		memSave := soc.MemScaleProjectedSavings(base, high, low)
+		row.MemScaleR, err = soc.ProjectedPerfGain(cfg, base, memSave, false)
+		if err != nil {
+			return res, err
+		}
+		coSave := soc.CoScaleProjectedSavings(base, high, low)
+		row.CoScaleR, err = soc.ProjectedPerfGain(cfg, base, coSave, false)
+		if err != nil {
+			return res, err
+		}
+
+		simMem, err := runPolicy(w, policy.NewMemScaleRedist(), nil)
+		if err != nil {
+			return res, err
+		}
+		simCo, err := runPolicy(w, policy.NewCoScaleRedist(), nil)
+		if err != nil {
+			return res, err
+		}
+		row.SimMemScaleR = soc.PerfImprovement(simMem, base)
+		row.SimCoScaleR = soc.PerfImprovement(simCo, base)
+
+		res.Rows = append(res.Rows, row)
+		res.AvgMemScaleR += row.MemScaleR
+		res.AvgCoScaleR += row.CoScaleR
+		res.AvgSysScale += row.SysScale
+		if row.SysScale > res.MaxSysScale {
+			res.MaxSysScale = row.SysScale
+		}
+	}
+	n := float64(len(res.Rows))
+	res.AvgMemScaleR /= n
+	res.AvgCoScaleR /= n
+	res.AvgSysScale /= n
+	return res, nil
+}
+
+func (r Fig7Result) String() string {
+	tab := stats.NewTable("Fig. 7: SPEC CPU2006 performance improvement",
+		"Benchmark", "MemScale-R", "CoScale-R", "SysScale", "LowResid", "sim MemScale-R", "sim CoScale-R")
+	for _, row := range r.Rows {
+		tab.AddRow(row.Name, pct(row.MemScaleR), pct(row.CoScaleR), pct(row.SysScale),
+			fmt.Sprintf("%.0f%%", 100*row.LowResidency), pct(row.SimMemScaleR), pct(row.SimCoScaleR))
+	}
+	tab.AddRow("AVERAGE", pct(r.AvgMemScaleR), pct(r.AvgCoScaleR), pct(r.AvgSysScale), "",
+		"", "")
+	chart := stats.NewBarChart("SysScale improvement per benchmark", "%", 40)
+	for _, row := range r.Rows {
+		chart.Add(row.Name, 100*row.SysScale)
+	}
+	return tab.String() + chart.String() +
+		fmt.Sprintf("paper: MemScale-R 1.7%%, CoScale-R 3.8%%, SysScale 9.2%% avg / 16%% max (measured max %s)\n", pct(r.MaxSysScale))
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sysscale/internal/dram"
+	"sysscale/internal/policy"
+	"sysscale/internal/soc"
+	"sysscale/internal/stats"
+	"sysscale/internal/vf"
+	"sysscale/internal/workload"
+)
+
+// DRAMSensitivityResult reproduces the §7.4 "More DRAM Frequencies"
+// analysis: (1) DDR4 1.86→1.33 frees less budget than LPDDR3
+// 1.6→1.06 (paper: about 7% less); (2) the 0.8GHz LPDDR3 point is not
+// energy efficient because V_SA already sits at Vmin at 1.06GHz and
+// the performance penalty roughly doubles.
+type DRAMSensitivityResult struct {
+	// Freed budget (W) when moving from the high to the low point.
+	LPDDR3Freed float64
+	DDR4Freed   float64
+	// VSA voltages showing the Vmin floor argument.
+	VSAAt106 vf.Volt
+	VSAAt08  vf.Volt
+	// Average SPEC degradation of the static points vs high.
+	Degrade106 float64
+	Degrade08  float64
+}
+
+// DRAMSensitivity computes the budget and degradation comparisons.
+func DRAMSensitivity() (DRAMSensitivityResult, error) {
+	var res DRAMSensitivityResult
+
+	freed := func(kind dram.Kind, high, low vf.OperatingPoint) (float64, error) {
+		cfg := soc.DefaultConfig()
+		cfg.DRAMKind = kind
+		cfg.Ladder = []vf.OperatingPoint{high, low}
+		cfg.Policy = policy.NewBaseline()
+		w, err := workload.SPEC("416.gamess")
+		if err != nil {
+			return 0, err
+		}
+		cfg.Workload = w
+		p, err := soc.NewPlatform(cfg)
+		if err != nil {
+			return 0, err
+		}
+		hi := float64(p.WorstCaseIOBudget(high) + p.WorstCaseMemBudget(high))
+		lo := float64(p.WorstCaseIOBudget(low) + p.WorstCaseMemBudget(low))
+		return hi - lo, nil
+	}
+
+	var err error
+	res.LPDDR3Freed, err = freed(dram.LPDDR3, vf.HighPoint(), vf.LowPoint())
+	if err != nil {
+		return res, err
+	}
+	res.DDR4Freed, err = freed(dram.DDR4, vf.DDR4HighPoint(), vf.DDR4LowPoint())
+	if err != nil {
+		return res, err
+	}
+
+	res.VSAAt106 = vf.LowPoint().VSA
+	res.VSAAt08 = vf.LowestPoint().VSA
+
+	// Average SPEC degradation at each static point relative to high,
+	// cores pinned so only the memory subsystem differs.
+	avgDegr := func(pointIdx int) (float64, error) {
+		var sum float64
+		n := 0
+		for _, w := range workload.SPECSuite() {
+			mut := func(c *soc.Config) {
+				c.Ladder = vf.LadderLPDDR3()
+				c.FixedCoreFreq = 2.0 * vf.GHz
+			}
+			base, err := runPolicy(w, policy.NewStaticPoint(0, false), mut)
+			if err != nil {
+				return 0, err
+			}
+			lowr, err := runPolicy(w, policy.NewStaticPoint(pointIdx, false), mut)
+			if err != nil {
+				return 0, err
+			}
+			sum += 1 - lowr.Score/base.Score
+			n++
+		}
+		return sum / float64(n), nil
+	}
+	if res.Degrade106, err = avgDegr(1); err != nil {
+		return res, err
+	}
+	if res.Degrade08, err = avgDegr(2); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func (r DRAMSensitivityResult) String() string {
+	tab := stats.NewTable("§7.4 DRAM sensitivity", "Quantity", "Value", "Paper")
+	rel := 0.0
+	if r.LPDDR3Freed > 0 {
+		rel = 1 - r.DDR4Freed/r.LPDDR3Freed
+	}
+	tab.AddRow("LPDDR3 1.6->1.06 freed budget", fmt.Sprintf("%.3fW", r.LPDDR3Freed), "-")
+	tab.AddRow("DDR4 1.86->1.33 freed budget", fmt.Sprintf("%.3fW (%.0f%% less)", r.DDR4Freed, 100*rel), "~7% less")
+	tab.AddRow("V_SA at DDR 1.06GHz", fmt.Sprintf("%.3fV", float64(r.VSAAt106)), "Vmin")
+	tab.AddRow("V_SA at DDR 0.8GHz", fmt.Sprintf("%.3fV", float64(r.VSAAt08)), "same Vmin (no benefit)")
+	tab.AddRow("Avg degradation at 1.06GHz", pct(-r.Degrade106), "-")
+	tab.AddRow("Avg degradation at 0.8GHz", fmt.Sprintf("%s (%.1fx)", pct(-r.Degrade08), r.Degrade08/maxf(r.Degrade106, 1e-9)), "2-3x the 1.06 penalty")
+	return tab.String()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sysscale/internal/compute"
+	"sysscale/internal/dram"
+	"sysscale/internal/mrc"
+	"sysscale/internal/pmu"
+	"sysscale/internal/sim"
+	"sysscale/internal/stats"
+	"sysscale/internal/vf"
+)
+
+// Table1Result reproduces Table 1: the two real experimental setups of
+// the §3 motivation study.
+type Table1Result struct {
+	Baseline vf.OperatingPoint
+	MDDVFS   vf.OperatingPoint
+	CoreFreq vf.Hz
+}
+
+// Table1 derives both setups from the platform V/F curves and checks
+// the paper's stated relationships (MD-DVFS at 0.8·V_SA and 0.85·V_IO).
+func Table1() Table1Result {
+	return Table1Result{
+		Baseline: vf.HighPoint(),
+		MDDVFS:   vf.LowPoint(),
+		CoreFreq: 1.2 * vf.GHz,
+	}
+}
+
+// VSARatio returns MD-DVFS V_SA as a fraction of baseline V_SA
+// (paper: 0.8).
+func (t Table1Result) VSARatio() float64 { return float64(t.MDDVFS.VSA / t.Baseline.VSA) }
+
+// VIORatio returns MD-DVFS V_IO as a fraction of baseline V_IO
+// (paper: 0.85).
+func (t Table1Result) VIORatio() float64 { return float64(t.MDDVFS.VIO / t.Baseline.VIO) }
+
+func (t Table1Result) String() string {
+	tab := stats.NewTable("Table 1: experimental setups", "Component", "Baseline", "MD-DVFS")
+	tab.AddRow("DRAM frequency", t.Baseline.DDR.String(), t.MDDVFS.DDR.String())
+	tab.AddRow("IO Interconnect", t.Baseline.Interco.String(), t.MDDVFS.Interco.String())
+	tab.AddRow("Shared Voltage", fmt.Sprintf("%.3fV", float64(t.Baseline.VSA)),
+		fmt.Sprintf("%.3fV (%.2f x V_SA)", float64(t.MDDVFS.VSA), t.VSARatio()))
+	tab.AddRow("DDRIO Digital", fmt.Sprintf("%.3fV", float64(t.Baseline.VIO)),
+		fmt.Sprintf("%.3fV (%.2f x V_IO)", float64(t.MDDVFS.VIO), t.VIORatio()))
+	tab.AddRow("2 Cores (4 threads)", t.CoreFreq.String(), t.CoreFreq.String())
+	return tab.String()
+}
+
+// Table2Result reproduces Table 2: the SoC and memory parameters of
+// the evaluated platform.
+type Table2Result struct {
+	CoreBase vf.Hz
+	GfxBase  vf.Hz
+	LLCBytes int
+	TDP      float64
+	Kind     dram.Kind
+	Geometry dram.Geometry
+	DRAMFreq vf.Hz
+	Cores    int
+	Threads  int
+}
+
+// Table2 collects the default platform parameters.
+func Table2() Table2Result {
+	cp := compute.DefaultCoreParams()
+	gp := compute.DefaultGfxParams()
+	return Table2Result{
+		CoreBase: cp.BaseFreq,
+		GfxBase:  gp.BaseFreq,
+		LLCBytes: 4 << 20,
+		TDP:      4.5,
+		Kind:     dram.LPDDR3,
+		Geometry: dram.DefaultGeometry(),
+		DRAMFreq: 1.6 * vf.GHz,
+		Cores:    cp.Cores,
+		Threads:  cp.Cores * cp.ThreadsPerCore,
+	}
+}
+
+func (t Table2Result) String() string {
+	tab := stats.NewTable("Table 2: SoC and memory parameters", "Parameter", "Value")
+	tab.AddRow("CPU core base frequency", t.CoreBase.String())
+	tab.AddRow("Graphics engine base frequency", t.GfxBase.String())
+	tab.AddRow("L3 cache (LLC)", fmt.Sprintf("%dMB", t.LLCBytes>>20))
+	tab.AddRow("Thermal design point (TDP)", fmt.Sprintf("%.1fW", t.TDP))
+	tab.AddRow("Cores/threads", fmt.Sprintf("%d/%d", t.Cores, t.Threads))
+	tab.AddRow("Memory", fmt.Sprintf("%v-%v, %d-channel, %dGB, ECC=%v",
+		t.Kind, t.DRAMFreq, t.Geometry.Channels, t.Geometry.CapacityGB, t.Geometry.ECC))
+	return tab.String()
+}
+
+// ImplementationCostResult reports the §5 hardware/firmware costs.
+type ImplementationCostResult struct {
+	MRCSRAMBytes  int
+	SRAMBudget    int
+	FirmwareBytes int
+	MaxFlowBound  sim.Time
+}
+
+// ImplementationCost verifies the §5 cost claims against the models.
+func ImplementationCost() (ImplementationCostResult, error) {
+	store, err := mrc.Train(dram.LPDDR3)
+	if err != nil {
+		return ImplementationCostResult{}, err
+	}
+	return ImplementationCostResult{
+		MRCSRAMBytes:  store.UsedBytes(),
+		SRAMBudget:    mrc.SRAMBudget,
+		FirmwareBytes: pmu.FirmwareBytes,
+		MaxFlowBound:  pmu.MaxTransitionLatency,
+	}, nil
+}
+
+func (r ImplementationCostResult) String() string {
+	tab := stats.NewTable("Implementation cost (§5)", "Item", "Modeled", "Paper budget")
+	tab.AddRow("MRC image SRAM", fmt.Sprintf("%dB", r.MRCSRAMBytes), fmt.Sprintf("%dB (~0.5KB)", r.SRAMBudget))
+	tab.AddRow("PMU firmware", fmt.Sprintf("%dB", r.FirmwareBytes), "~0.6KB")
+	tab.AddRow("Transition latency bound", r.MaxFlowBound.String(), "<10us")
+	return tab.String()
+}

@@ -1,0 +1,35 @@
+package memctrl
+
+import (
+	"testing"
+
+	"sysscale/internal/dram"
+	"sysscale/internal/vf"
+)
+
+// BenchmarkEvaluate measures the per-epoch cost of the controller's
+// bandwidth/latency resolution — the hot path of the tick loop.
+func BenchmarkEvaluate(b *testing.B) {
+	d, err := dram.NewDevice(dram.LPDDR3, dram.DefaultGeometry(), 1.6*vf.GHz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := New(DefaultParams(), d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Evaluate(float64(i%20) * 1e9)
+	}
+}
+
+// BenchmarkPower measures the controller power model.
+func BenchmarkPower(b *testing.B) {
+	d, _ := dram.NewDevice(dram.LPDDR3, dram.DefaultGeometry(), 1.6*vf.GHz)
+	c, _ := New(DefaultParams(), d)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.Power(float64(i%100) / 100)
+	}
+}

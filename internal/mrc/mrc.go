@@ -1,0 +1,128 @@
+// Package mrc models the Memory Reference Code: the BIOS component that
+// trains the DRAM interface and produces the per-frequency configuration
+// register sets (§2.5). SysScale extends the stock flow by training
+// *every* supported frequency bin at reset and parking the resulting
+// register images in a small on-chip SRAM (~0.5KB, §5) so the DVFS flow
+// can reload them in under a microsecond (step 5 of Fig. 5).
+package mrc
+
+import (
+	"fmt"
+
+	"sysscale/internal/dram"
+	"sysscale/internal/sim"
+	"sysscale/internal/vf"
+)
+
+// RegisterImage is one trained register set destined for the memory
+// controller, DDRIO and DIMM configuration registers, together with its
+// size in the SRAM store.
+type RegisterImage struct {
+	Freq   vf.Hz
+	Timing dram.Timing
+	Bytes  int // serialized image size
+}
+
+// imageBytes is the serialized size of one register image. A real
+// image holds roughly thirty 32-bit MC registers, the DDRIO per-lane
+// trim codes and the DIMM mode registers; 120 bytes is representative
+// and keeps all four LPDDR3/LPDDR3E bins within the paper's 0.5KB SRAM
+// budget.
+const imageBytes = 120
+
+// SRAMBudget is the SRAM capacity SysScale dedicates to MRC images
+// (§5: "approximately 0.5KB").
+const SRAMBudget = 512
+
+// LoadLatency is the time to move one image from SRAM into the live
+// configuration registers (§5: "less than 1us").
+const LoadLatency = 800 * sim.Nanosecond
+
+// Store is the on-chip SRAM holding one trained image per supported
+// frequency bin.
+type Store struct {
+	kind   dram.Kind
+	images map[vf.Hz]RegisterImage
+	used   int
+}
+
+// Train runs MRC training for every frequency bin of the technology and
+// returns the populated store. It fails if the images exceed the SRAM
+// budget — the hardware cost claim of §5 is enforced, not assumed.
+func Train(kind dram.Kind) (*Store, error) {
+	s := &Store{kind: kind, images: make(map[vf.Hz]RegisterImage)}
+	for _, f := range kind.Bins() {
+		img := RegisterImage{Freq: f, Timing: dram.OptimalTiming(kind, f), Bytes: imageBytes}
+		if s.used+img.Bytes > SRAMBudget {
+			return nil, fmt.Errorf("mrc: images exceed %dB SRAM budget at bin %v", SRAMBudget, f)
+		}
+		s.images[f] = img
+		s.used += img.Bytes
+	}
+	return s, nil
+}
+
+// MustTrain is Train that panics on error (used by platform assembly,
+// which is validated by tests).
+func MustTrain(kind dram.Kind) *Store {
+	s, err := Train(kind)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Kind returns the DRAM technology the store was trained for.
+func (s *Store) Kind() dram.Kind { return s.kind }
+
+// UsedBytes returns the occupied SRAM.
+func (s *Store) UsedBytes() int { return s.used }
+
+// Bins returns the bins with a trained image, in the technology's
+// native (highest-first) order.
+func (s *Store) Bins() []vf.Hz {
+	var out []vf.Hz
+	for _, f := range s.kind.Bins() {
+		if _, ok := s.images[f]; ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Image returns the trained image for a bin.
+func (s *Store) Image(f vf.Hz) (RegisterImage, error) {
+	img, ok := s.images[f]
+	if !ok {
+		return RegisterImage{}, fmt.Errorf("mrc: no trained image for %v", f)
+	}
+	return img, nil
+}
+
+// Load retrieves the image for f and programs it into the device,
+// returning the load latency. This is step 5 of the Fig. 5 flow.
+func (s *Store) Load(d *dram.Device, f vf.Hz) (sim.Time, error) {
+	img, err := s.Image(f)
+	if err != nil {
+		return 0, err
+	}
+	if err := d.LoadTiming(img.Timing); err != nil {
+		return 0, err
+	}
+	return LoadLatency, nil
+}
+
+// LoadDetuned programs the device with the image trained for trainedAt
+// while the device runs at actual — the "unoptimized MRC values"
+// scenario of Observation 4 and the behaviour of DVFS schemes that do
+// not retrain per frequency (MemScale, CoScale; §8). The same load
+// latency applies.
+func (s *Store) LoadDetuned(d *dram.Device, trainedAt, actual vf.Hz) (sim.Time, error) {
+	if _, err := s.Image(trainedAt); err != nil {
+		return 0, err
+	}
+	if err := d.LoadTiming(dram.DetunedTiming(s.kind, trainedAt, actual)); err != nil {
+		return 0, err
+	}
+	return LoadLatency, nil
+}

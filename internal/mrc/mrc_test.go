@@ -1,0 +1,93 @@
+package mrc
+
+import (
+	"testing"
+
+	"sysscale/internal/dram"
+	"sysscale/internal/vf"
+)
+
+func TestTrainFitsSRAMBudget(t *testing.T) {
+	for _, kind := range []dram.Kind{dram.LPDDR3, dram.DDR4} {
+		s, err := Train(kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if s.UsedBytes() > SRAMBudget {
+			t.Fatalf("%v: %dB exceeds %dB SRAM budget (§5)", kind, s.UsedBytes(), SRAMBudget)
+		}
+		if s.Kind() != kind {
+			t.Fatal("kind mismatch")
+		}
+		if len(s.Bins()) != len(kind.Bins()) {
+			t.Fatalf("%v: trained %d bins, want %d", kind, len(s.Bins()), len(kind.Bins()))
+		}
+	}
+}
+
+func TestImagePerBin(t *testing.T) {
+	s := MustTrain(dram.LPDDR3)
+	for _, f := range dram.LPDDR3.Bins() {
+		img, err := s.Image(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if img.Timing.ForFreq != f {
+			t.Fatalf("image for %v tagged %v", f, img.Timing.ForFreq)
+		}
+		if img.Timing.InterfaceEff != 1.0 {
+			t.Fatal("trained image not at full interface efficiency")
+		}
+	}
+	if _, err := s.Image(1.23 * vf.GHz); err == nil {
+		t.Fatal("bogus bin served")
+	}
+}
+
+func TestLoadProgramsDevice(t *testing.T) {
+	s := MustTrain(dram.LPDDR3)
+	d, err := dram.NewDevice(dram.LPDDR3, dram.DefaultGeometry(), 1.6*vf.GHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.EnterSelfRefresh()
+	if err := d.SetFrequency(1.06 * vf.GHz); err != nil {
+		t.Fatal(err)
+	}
+	lat, err := s.Load(d, 1.06*vf.GHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != LoadLatency {
+		t.Fatalf("load latency = %v", lat)
+	}
+	if d.Timing().ForFreq != 1.06*vf.GHz || d.Timing().InterfaceEff != 1.0 {
+		t.Fatal("device not programmed with trained image")
+	}
+}
+
+func TestLoadDetuned(t *testing.T) {
+	s := MustTrain(dram.LPDDR3)
+	d, _ := dram.NewDevice(dram.LPDDR3, dram.DefaultGeometry(), 1.6*vf.GHz)
+	d.EnterSelfRefresh()
+	if err := d.SetFrequency(1.06 * vf.GHz); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadDetuned(d, 1.6*vf.GHz, 1.06*vf.GHz); err != nil {
+		t.Fatal(err)
+	}
+	if d.Timing().InterfaceEff >= 1.0 {
+		t.Fatal("detuned load did not derate the interface")
+	}
+	if _, err := s.LoadDetuned(d, 1.23*vf.GHz, 1.06*vf.GHz); err == nil {
+		t.Fatal("detuned load from untrained bin accepted")
+	}
+}
+
+func TestLoadUnknownBin(t *testing.T) {
+	s := MustTrain(dram.LPDDR3)
+	d, _ := dram.NewDevice(dram.LPDDR3, dram.DefaultGeometry(), 1.6*vf.GHz)
+	if _, err := s.Load(d, 1.23*vf.GHz); err == nil {
+		t.Fatal("unknown bin load accepted")
+	}
+}

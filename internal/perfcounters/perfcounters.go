@@ -1,0 +1,111 @@
+// Package perfcounters implements the performance-counter file the PMU
+// firmware samples, including the four counters SysScale adds (§4.2):
+//
+//	GFX_LLC_MISSES       — LLC misses from the graphics engines
+//	                       (graphics bandwidth-boundedness indicator)
+//	LLC_Occupancy_Tracer — CPU requests waiting on the memory controller
+//	                       (CPU bandwidth-boundedness indicator)
+//	LLC_STALLS           — stalls on a busy LLC
+//	                       (memory-latency-boundedness indicator)
+//	IO_RPQ               — IO read-pending-queue occupancy
+//	                       (IO-boundedness indicator)
+//
+// Counters accumulate event counts; the PMU samples them every 1ms and
+// averages samples over the 30ms evaluation interval (§4.3).
+package perfcounters
+
+import "fmt"
+
+// ID names one hardware counter.
+type ID int
+
+// The counter file. The first four are SysScale's additions; the rest
+// are pre-existing counters the models keep for telemetry.
+const (
+	GfxLLCMisses ID = iota
+	LLCOccupancyTracer
+	LLCStalls
+	IORPQ
+	CoreCycles
+	MemReadBytes
+	MemWriteBytes
+	numCounters
+)
+
+// NumCounters is the size of the counter file.
+const NumCounters = int(numCounters)
+
+var idNames = [...]string{
+	"GFX_LLC_MISSES",
+	"LLC_Occupancy_Tracer",
+	"LLC_STALLS",
+	"IO_RPQ",
+	"CORE_CYCLES",
+	"MEM_READ_BYTES",
+	"MEM_WRITE_BYTES",
+}
+
+func (id ID) String() string {
+	if id < 0 || int(id) >= len(idNames) {
+		return fmt.Sprintf("ID(%d)", int(id))
+	}
+	return idNames[id]
+}
+
+// SysScaleCounters returns the four counters the prediction algorithm
+// uses, in the order the paper lists them.
+func SysScaleCounters() []ID {
+	return []ID{GfxLLCMisses, LLCOccupancyTracer, LLCStalls, IORPQ}
+}
+
+// Sample is one 1ms snapshot of the counter file.
+type Sample [NumCounters]float64
+
+// Get returns one counter's value.
+func (s Sample) Get(id ID) float64 { return s[id] }
+
+// File is the live counter file written by the models each tick.
+type File struct {
+	current Sample
+	// window accumulates samples for the PMU's evaluation interval.
+	windowSum   Sample
+	windowCount int
+}
+
+// New returns an empty counter file.
+func New() *File { return &File{} }
+
+// Set writes one counter for the current tick.
+func (f *File) Set(id ID, v float64) { f.current[id] = v }
+
+// Current returns the live sample.
+func (f *File) Current() Sample { return f.current }
+
+// Latch pushes the current sample into the evaluation window; the PMU
+// calls this at its 1ms sampling cadence.
+func (f *File) Latch() {
+	for i := range f.current {
+		f.windowSum[i] += f.current[i]
+	}
+	f.windowCount++
+}
+
+// WindowAverage returns the mean of latched samples and the number of
+// samples averaged. The PMU consumes this once per evaluation interval.
+func (f *File) WindowAverage() (Sample, int) {
+	var avg Sample
+	n := f.windowCount
+	if n == 0 {
+		return avg, 0
+	}
+	for i := range f.windowSum {
+		avg[i] = f.windowSum[i] / float64(n)
+	}
+	return avg, n
+}
+
+// ResetWindow clears the evaluation window (start of a new interval).
+func (f *File) ResetWindow() {
+	f.windowSum = Sample{}
+	f.windowCount = 0
+}

@@ -1,0 +1,71 @@
+package perfcounters
+
+import "testing"
+
+func TestSysScaleCounters(t *testing.T) {
+	ids := SysScaleCounters()
+	if len(ids) != 4 {
+		t.Fatalf("paper defines 4 new counters, got %d", len(ids))
+	}
+	want := []string{"GFX_LLC_MISSES", "LLC_Occupancy_Tracer", "LLC_STALLS", "IO_RPQ"}
+	for i, id := range ids {
+		if id.String() != want[i] {
+			t.Errorf("counter %d = %s, want %s", i, id, want[i])
+		}
+	}
+}
+
+func TestSetAndCurrent(t *testing.T) {
+	f := New()
+	f.Set(LLCStalls, 12.5)
+	if f.Current().Get(LLCStalls) != 12.5 {
+		t.Fatal("set/get broken")
+	}
+}
+
+func TestWindowAveraging(t *testing.T) {
+	f := New()
+	// Three 1ms samples: 10, 20, 30 -> average 20 (§4.3: "PMU samples
+	// the performance counters multiple times in an evaluation interval
+	// and uses the average value").
+	for _, v := range []float64{10, 20, 30} {
+		f.Set(IORPQ, v)
+		f.Latch()
+	}
+	avg, n := f.WindowAverage()
+	if n != 3 {
+		t.Fatalf("sample count = %d", n)
+	}
+	if avg.Get(IORPQ) != 20 {
+		t.Fatalf("window average = %v", avg.Get(IORPQ))
+	}
+}
+
+func TestResetWindow(t *testing.T) {
+	f := New()
+	f.Set(GfxLLCMisses, 5)
+	f.Latch()
+	f.ResetWindow()
+	if _, n := f.WindowAverage(); n != 0 {
+		t.Fatal("reset did not clear the window")
+	}
+	// Current sample persists across window resets (free-running
+	// counters).
+	if f.Current().Get(GfxLLCMisses) != 5 {
+		t.Fatal("current value lost on window reset")
+	}
+}
+
+func TestEmptyWindow(t *testing.T) {
+	f := New()
+	avg, n := f.WindowAverage()
+	if n != 0 || avg != (Sample{}) {
+		t.Fatal("empty window not zero")
+	}
+}
+
+func TestIDStringBounds(t *testing.T) {
+	if ID(-1).String() == "" || ID(999).String() == "" {
+		t.Fatal("out-of-range ID string empty")
+	}
+}

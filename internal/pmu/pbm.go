@@ -1,0 +1,143 @@
+package pmu
+
+import (
+	"fmt"
+
+	"sysscale/internal/compute"
+	"sysscale/internal/power"
+	"sysscale/internal/vf"
+)
+
+// PBM is the compute-domain power-budget manager (§4.3-4.4). It owns
+// the TDP split across domains and converts the compute allocation
+// into CPU and graphics P-states. DVFS requests from the OS/driver are
+// honored when they fit the budget and demoted to a safe lower
+// frequency otherwise ("PBM demotes the request and places the
+// requestor in a safe lower frequency", §4.4).
+type PBM struct {
+	budget *power.Budget
+	cores  *compute.Cores
+	gfx    *compute.Gfx
+
+	// Activity assumptions used for the watts→frequency conversion
+	// (real PBMs use running-average power limits; a fixed planning
+	// activity is the epoch-model equivalent).
+	planCoreActivity float64
+	planGfxActivity  float64
+}
+
+// NewPBM wires a budget manager.
+func NewPBM(budget *power.Budget, cores *compute.Cores, gfx *compute.Gfx) (*PBM, error) {
+	if budget == nil || cores == nil || gfx == nil {
+		return nil, fmt.Errorf("pmu: nil PBM component")
+	}
+	return &PBM{
+		budget:           budget,
+		cores:            cores,
+		gfx:              gfx,
+		planCoreActivity: 0.75,
+		planGfxActivity:  0.85,
+	}, nil
+}
+
+// Budget returns the managed budget.
+func (p *PBM) Budget() *power.Budget { return p.budget }
+
+// SetIOMemoryBudget reassigns the IO and memory domain allocations.
+// SysScale's redistribution is exactly this call: a low operating
+// point shrinks the allocations, growing the compute share.
+func (p *PBM) SetIOMemoryBudget(io, memory power.Watt) error {
+	return p.budget.SetIOMemory(io, memory)
+}
+
+// Request carries the OS/driver DVFS requests for one interval.
+type Request struct {
+	CoreFreq    vf.Hz   // requested core P-state (0 = maximum available)
+	GfxFreq     vf.Hz   // requested graphics P-state (0 = maximum available)
+	ActiveCores int     // cores the workload keeps busy
+	GfxShare    float64 // fraction of the compute budget for graphics
+	// DutyCycle engages hardware duty cycling below Pn (footnote 10);
+	// 0 means full duty.
+	DutyCycle float64
+	// BonusBudget is extra compute budget beyond the TDP split, granted
+	// from a governor's running-average savings credit (CoScale-Redist
+	// style projection).
+	BonusBudget power.Watt
+}
+
+// Apply arbitrates the interval's requests within the compute budget
+// and programs the P-states. It returns the granted frequencies.
+//
+// Explicit joint requests (both core and graphics P-states named, the
+// battery-workload pattern of §7.3 where the OS requests the lowest
+// usable frequencies) are granted directly when their combined planned
+// power fits the budget — the PBM only demotes requests that would
+// violate the budget (§4.4).
+func (p *PBM) Apply(req Request) (coreF, gfxF vf.Hz, err error) {
+	budget := p.budget.Compute() + req.BonusBudget
+	if req.CoreFreq > 0 && req.GfxFreq > 0 {
+		active := req.ActiveCores
+		if active <= 0 {
+			active = 1
+		}
+		plan := p.cores.PlannedPower(req.CoreFreq, active, 0.5) + p.gfx.PlannedPower(req.GfxFreq, 0.5)
+		if plan <= budget {
+			if err := p.cores.SetPState(req.CoreFreq); err != nil {
+				return 0, 0, err
+			}
+			if err := p.gfx.SetPState(req.GfxFreq); err != nil {
+				return 0, 0, err
+			}
+			duty := req.DutyCycle
+			if duty <= 0 || duty > 1 {
+				duty = 1
+			}
+			if err := p.cores.SetDutyCycle(duty); err != nil {
+				return 0, 0, err
+			}
+			return p.cores.Frequency(), p.gfx.Frequency(), nil
+		}
+	}
+	gfxShare := req.GfxShare
+	if gfxShare < 0 {
+		gfxShare = 0
+	}
+	if gfxShare > 0.95 {
+		gfxShare = 0.95
+	}
+	gfxBudget := power.Watt(float64(budget) * gfxShare)
+	coreBudget := budget - gfxBudget
+
+	active := req.ActiveCores
+	if active <= 0 {
+		active = 1
+	}
+
+	coreF = p.cores.FreqForBudget(coreBudget, active, p.planCoreActivity)
+	if req.CoreFreq > 0 && req.CoreFreq < coreF {
+		coreF = req.CoreFreq // honor an explicit lower request
+	}
+	if err := p.cores.SetPState(coreF); err != nil {
+		return 0, 0, err
+	}
+	duty := req.DutyCycle
+	if duty <= 0 || duty > 1 {
+		duty = 1
+	}
+	if err := p.cores.SetDutyCycle(duty); err != nil {
+		return 0, 0, err
+	}
+
+	if gfxShare > 0 {
+		gfxF = p.gfx.FreqForBudget(gfxBudget, p.planGfxActivity)
+		if req.GfxFreq > 0 && req.GfxFreq < gfxF {
+			gfxF = req.GfxFreq
+		}
+	} else {
+		gfxF = p.gfx.Params().BaseFreq
+	}
+	if err := p.gfx.SetPState(gfxF); err != nil {
+		return 0, 0, err
+	}
+	return p.cores.Frequency(), p.gfx.Frequency(), nil
+}

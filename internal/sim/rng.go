@@ -1,0 +1,66 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic random number generator
+// (SplitMix64). Every stochastic element of the simulator draws from an
+// RNG seeded from the run configuration, so simulations are exactly
+// reproducible. We implement the generator ourselves rather than using
+// math/rand so that the stream is stable across Go releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators with the
+// same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next value in the stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 bits of mantissa.
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Range returns a uniform value in [lo, hi). It panics if hi < lo.
+func (r *RNG) Range(lo, hi float64) float64 {
+	if hi < lo {
+		panic("sim: invalid RNG range")
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	// Guard against log(0).
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Fork derives an independent generator from the current stream. Models
+// that need a private stream fork the run RNG at construction so that
+// adding draws to one model does not perturb another.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}

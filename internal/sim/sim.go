@@ -1,0 +1,93 @@
+// Package sim provides the deterministic simulation kernel shared by all
+// SysScale models: a tick-based clock, simulated-time types, and a
+// reproducible random number generator.
+//
+// The simulator is epoch based. Time advances in fixed ticks (the PMU
+// sample period, 1ms by default). All models are evaluated once per tick;
+// sub-tick events (such as DVFS transitions, which complete in under ten
+// microseconds) are charged as stall time within the tick that issues them.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in simulated time, measured in nanoseconds from the
+// start of the simulation. A dedicated type (rather than time.Duration)
+// keeps simulated time from being confused with wall-clock time.
+type Time int64
+
+// Common simulated-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t expressed in microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns t expressed in milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Duration converts t to a time.Duration for formatting convenience.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Clock is the simulation clock. It advances in fixed ticks.
+type Clock struct {
+	now  Time
+	tick Time
+}
+
+// NewClock returns a clock that advances by tick on each Advance call.
+// It panics if tick is not positive, since a zero tick would stall the
+// simulation loop forever.
+func NewClock(tick Time) *Clock {
+	if tick <= 0 {
+		panic(fmt.Sprintf("sim: non-positive clock tick %d", tick))
+	}
+	return &Clock{tick: tick}
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// Tick returns the clock granularity.
+func (c *Clock) Tick() Time { return c.tick }
+
+// Advance moves the clock forward by one tick and returns the new time.
+func (c *Clock) Advance() Time {
+	c.now += c.tick
+	return c.now
+}
+
+// AdvanceBy moves the clock forward by an arbitrary amount (used by
+// tests and by flows that consume partial ticks).
+func (c *Clock) AdvanceBy(d Time) Time {
+	if d < 0 {
+		panic("sim: clock cannot move backwards")
+	}
+	c.now += d
+	return c.now
+}
+
+// Reset rewinds the clock to time zero.
+func (c *Clock) Reset() { c.now = 0 }

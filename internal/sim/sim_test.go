@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond || Microsecond != 1000*Nanosecond {
+		t.Fatal("time unit ratios broken")
+	}
+	if got := Second.Seconds(); got != 1.0 {
+		t.Fatalf("Second.Seconds() = %v", got)
+	}
+	if got := (30 * Millisecond).Millis(); got != 30 {
+		t.Fatalf("Millis = %v", got)
+	}
+	if got := (10 * Microsecond).Micros(); got != 10 {
+		t.Fatalf("Micros = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{2 * Second, "2.000s"},
+		{30 * Millisecond, "30.000ms"},
+		{10 * Microsecond, "10.000us"},
+		{123 * Nanosecond, "123ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(Millisecond)
+	if c.Now() != 0 {
+		t.Fatal("clock must start at zero")
+	}
+	for i := 1; i <= 5; i++ {
+		if got := c.Advance(); got != Time(i)*Millisecond {
+			t.Fatalf("advance %d: got %v", i, got)
+		}
+	}
+	c.AdvanceBy(500 * Microsecond)
+	if c.Now() != 5*Millisecond+500*Microsecond {
+		t.Fatalf("AdvanceBy: got %v", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestClockPanics(t *testing.T) {
+	mustPanic(t, func() { NewClock(0) })
+	mustPanic(t, func() { NewClock(-1) })
+	c := NewClock(Millisecond)
+	mustPanic(t, func() { c.AdvanceBy(-1) })
+}
+
+func TestClockTick(t *testing.T) {
+	c := NewClock(30 * Millisecond)
+	if c.Tick() != 30*Millisecond {
+		t.Fatalf("Tick = %v", c.Tick())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	a2 := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds coincide too often: %d", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	err := quick.Check(func(_ int) bool {
+		f := r.Float64()
+		return f >= 0 && f < 1
+	}, &quick.Config{MaxCount: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGRange(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(3, 9)
+		if v < 3 || v >= 9 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+	mustPanic(t, func() { r.Range(2, 1) })
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn out of bounds: %v", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Intn(5) never produced all values: %v", seen)
+	}
+	mustPanic(t, func() { r.Intn(0) })
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(4)
+	n := 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if mean < 9.9 || mean > 10.1 {
+		t.Fatalf("Norm mean = %v, want ~10", mean)
+	}
+	if variance < 3.6 || variance > 4.4 {
+		t.Fatalf("Norm variance = %v, want ~4", variance)
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	r := NewRNG(5)
+	f := r.Fork()
+	if r.Uint64() == f.Uint64() {
+		t.Fatal("fork should not mirror the parent stream")
+	}
+}
+
+func TestEventLogRecordAndFind(t *testing.T) {
+	l := NewEventLog(0)
+	l.Record(1*Millisecond, "a", "first %d", 1)
+	l.Record(2*Millisecond, "b", "second")
+	l.Record(3*Millisecond, "c", "third")
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if e, ok := l.Find("second"); !ok || e.Source != "b" {
+		t.Fatalf("Find failed: %+v %v", e, ok)
+	}
+	if idx := l.IndexOf("third"); idx != 2 {
+		t.Fatalf("IndexOf = %d", idx)
+	}
+	if idx := l.IndexOf("absent"); idx != -1 {
+		t.Fatalf("IndexOf(absent) = %d", idx)
+	}
+	if !strings.Contains(l.String(), "first 1") {
+		t.Fatalf("String missing event: %q", l.String())
+	}
+}
+
+func TestEventLogDisabledAndNil(t *testing.T) {
+	var nilLog *EventLog
+	nilLog.Record(0, "x", "ignored") // must not panic
+	if nilLog.Len() != 0 || nilLog.Enabled() {
+		t.Fatal("nil log misbehaves")
+	}
+	l := NewEventLog(0)
+	l.Disable()
+	l.Record(0, "x", "dropped")
+	if l.Len() != 0 {
+		t.Fatal("disabled log recorded")
+	}
+	l.Enable()
+	l.Record(0, "x", "kept")
+	if l.Len() != 1 {
+		t.Fatal("enabled log did not record")
+	}
+}
+
+func TestEventLogLimit(t *testing.T) {
+	l := NewEventLog(2)
+	for i := 0; i < 5; i++ {
+		l.Record(0, "x", "e%d", i)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("limit not enforced: %d", l.Len())
+	}
+}
+
+func TestEventLogReset(t *testing.T) {
+	l := NewEventLog(0)
+	l.Record(0, "x", "e")
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,47 @@
+package soc
+
+import (
+	"testing"
+
+	"sysscale/internal/sim"
+	"sysscale/internal/workload"
+)
+
+// BenchmarkTickLoop measures the simulator's core loop: ticks per
+// second on a phased workload with an active governor.
+func BenchmarkTickLoop(b *testing.B) {
+	w, err := workload.SPEC("473.astar")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Workload = w
+	cfg.Policy = highPinBench()
+	cfg.Duration = 500 * sim.Millisecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ticks := float64(cfg.Duration/cfg.SampleInterval) * float64(b.N)
+	b.ReportMetric(ticks/b.Elapsed().Seconds(), "ticks/s")
+}
+
+func highPinBench() Policy { return &testPolicy{index: 0, optimizedMRC: true} }
+
+// BenchmarkPlatformAssembly measures cold-start cost (MRC training,
+// component wiring) — relevant for sweep-style experiments that build
+// thousands of platforms.
+func BenchmarkPlatformAssembly(b *testing.B) {
+	w, _ := workload.SPEC("416.gamess")
+	cfg := DefaultConfig()
+	cfg.Workload = w
+	cfg.Policy = highPinBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewPlatform(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package soc
+
+import (
+	"sysscale/internal/power"
+	"sysscale/internal/vf"
+)
+
+// ddrio models the digital part of the DRAM interface (DDRIO-digital,
+// element 4 of Fig. 1). It clocks at half the DDR transfer rate and
+// sits on the V_IO rail — which is why SysScale adds a scalable supply
+// for it and scales it together with the memory subsystem (§2.4: "we
+// also concurrently apply DVFS to DDRIO-digital and the IO
+// interconnect"). The analog front end (drivers, on VDDQ) is accounted
+// in the DRAM device's IO power.
+type ddrio struct {
+	cdyn      float64
+	leakAtNom float64
+	nomVolt   vf.Volt
+}
+
+func newDDRIO() *ddrio {
+	return &ddrio{
+		cdyn:      0.24e-9,
+		leakAtNom: 0.028,
+		nomVolt:   vf.NominalVIO,
+	}
+}
+
+// Power returns the DDRIO-digital draw at rail voltage v, DDR transfer
+// rate ddr and interface utilization.
+func (d *ddrio) Power(v vf.Volt, ddr vf.Hz, utilization float64) power.Watt {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	activity := 0.25 + 0.75*utilization
+	dyn := power.Dynamic(d.cdyn, v, ddr/2, activity)
+	leak := power.Leakage(d.leakAtNom, v, d.nomVolt)
+	return dyn + leak
+}

@@ -1,0 +1,575 @@
+package soc
+
+import (
+	"fmt"
+	"math"
+
+	"sysscale/internal/cache"
+	"sysscale/internal/compute"
+	"sysscale/internal/interconnect"
+	"sysscale/internal/memctrl"
+	"sysscale/internal/perfcounters"
+	"sysscale/internal/pmu"
+	"sysscale/internal/power"
+	"sysscale/internal/sim"
+	"sysscale/internal/vf"
+	"sysscale/internal/workload"
+)
+
+// Run simulates one workload under one policy and returns the Result.
+func Run(cfg Config) (Result, error) {
+	p, err := newPlatform(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.run()
+}
+
+// MustRun is Run that panics on error, for benchmarks and examples
+// whose configs are statically known-good.
+func MustRun(cfg Config) Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// tickEval is the resolved state of one simulation tick.
+type tickEval struct {
+	r      float64 // progress rate relative to reference (C0)
+	mcEp   memctrl.Epoch
+	fabEp  interconnect.Epoch
+	llcEp  cache.Epoch
+	c2Util float64 // memory utilization during C2 (static traffic only)
+	c2IO   float64 // fabric utilization during C2
+	c2BW   float64 // achieved memory bytes during C2
+}
+
+func (p *Platform) run() (Result, error) {
+	cfg := p.cfg
+	cfg.Policy.Reset()
+
+	res := Result{
+		Workload:       cfg.Workload.Name,
+		Policy:         cfg.Policy.Name(),
+		Duration:       cfg.Duration,
+		PerfMet:        true,
+		PointResidency: make([]float64, len(cfg.Ladder)),
+	}
+
+	tick := cfg.SampleInterval
+	tickSec := tick.Seconds()
+	evalEvery := int(cfg.EvalInterval / tick)
+	if evalEvery < 1 {
+		evalEvery = 1
+	}
+
+	var (
+		work, activeTime   float64
+		counterSum         perfcounters.Sample
+		counterTicks       int
+		coreFreqSum        float64
+		gfxFreqSum         float64
+		lastComputePower   power.Watt
+		ioMemPowerInterval float64
+		intervalTicks      int
+		pendingStall       sim.Time
+	)
+
+	// refLat caches each phase's reference loaded latency (computed at
+	// the boot/high point).
+	refLats := make(map[int]float64)
+	phaseIndex := func(t sim.Time) int {
+		total := cfg.Workload.TotalDuration()
+		if total <= 0 {
+			return 0
+		}
+		t %= total
+		for i, ph := range cfg.Workload.Phases {
+			if t < ph.Duration {
+				return i
+			}
+			t -= ph.Duration
+		}
+		return len(cfg.Workload.Phases) - 1
+	}
+	refLatOf := func(idx int, ph workload.Phase) float64 {
+		if l, ok := refLats[idx]; ok {
+			return l
+		}
+		static := p.ioeng.CSR().StaticBandwidth()
+		ep := p.refMC.Evaluate(static + ph.MemBW)
+		refLats[idx] = ep.Latency
+		return ep.Latency
+	}
+
+	nTicks := int(cfg.Duration / tick)
+	if nTicks < 1 {
+		return Result{}, fmt.Errorf("soc: duration %v shorter than one tick", cfg.Duration)
+	}
+
+	// Program the initial compute P-states from the boot budgets.
+	firstPhase := cfg.Workload.PhaseAt(0)
+	if _, _, err := p.applyPBM(firstPhase, 0, 0); err != nil {
+		return Result{}, err
+	}
+
+	for i := 0; i < nTicks; i++ {
+		now := p.clock.Now()
+		idx := phaseIndex(now)
+		ph := cfg.Workload.Phases[idx]
+		refLat := refLatOf(idx, ph)
+
+		// Policy evaluation at interval boundaries.
+		if i%evalEvery == 0 {
+			avg, n := p.counters.WindowAverage()
+			if n == 0 {
+				avg = p.counters.Current()
+			}
+			ioMemAvg := power.Watt(0)
+			if intervalTicks > 0 {
+				ioMemAvg = power.Watt(ioMemPowerInterval / float64(intervalTicks))
+			}
+			ctx := PolicyContext{
+				Now:           now,
+				Interval:      cfg.EvalInterval,
+				Counters:      avg,
+				CSR:           p.ioeng.CSR(),
+				Current:       p.current,
+				Ladder:        cfg.Ladder,
+				WorstIO:       p.WorstCaseIOBudget,
+				WorstMem:      p.WorstCaseMemBudget,
+				ComputeBudget: p.budget.Compute(),
+				ComputePower:  lastComputePower,
+				IOMemPower:    ioMemAvg,
+				CoreFreq:      p.cores.Frequency(),
+				Warmup:        i == 0,
+				GfxBusy:       ph.GfxFrac > 0.02 || ph.GfxActivity > 0,
+			}
+			dec := cfg.Policy.Decide(ctx)
+			if err := p.executeDecision(now, dec); err != nil {
+				return Result{}, err
+			}
+			stall, err := p.maybeTransition(now, dec)
+			if err != nil {
+				return Result{}, err
+			}
+			pendingStall += stall
+			p.setBonus(dec.ComputeBonus)
+			if _, _, err := p.applyPBM(ph, dec.CoreFreqReq, dec.GfxFreqReq); err != nil {
+				return Result{}, err
+			}
+			p.counters.ResetWindow()
+			ioMemPowerInterval = 0
+			intervalTicks = 0
+		}
+
+		ev := p.evalTick(ph, refLat)
+
+		// Charge DVFS stall time against this tick's progress.
+		stallFrac := 0.0
+		if pendingStall > 0 {
+			stallFrac = float64(pendingStall) / float64(tick)
+			if stallFrac > 1 {
+				stallFrac = 1
+			}
+			pendingStall = 0
+		}
+		effRate := ev.r * (1 - stallFrac)
+
+		// C-state residency; fixed-demand workloads stretch or shrink
+		// their active window to hold work constant (race-to-sleep).
+		resid := ph.Residency
+		c0 := resid.C0
+		if cfg.Workload.Class == workload.Battery && effRate > 0 {
+			c0 = resid.C0 / effRate
+			if c0 > 1 {
+				c0 = 1
+				res.PerfMet = false
+			}
+		}
+		idleScale := 1.0
+		if rem := resid.C2 + resid.C6 + resid.C8; rem > 0 {
+			idleScale = (1 - c0) / rem
+			if idleScale < 0 {
+				idleScale = 0
+			}
+		}
+		c2 := resid.C2 * idleScale
+		deep := (resid.C6 + resid.C8) * idleScale
+
+		work += effRate * c0 * tickSec
+		activeTime += c0 * tickSec
+
+		// Counters reflect the tick's average activity.
+		p.setCounters(ev, c0, c2)
+		p.counters.Latch()
+		counterSum = addSample(counterSum, p.counters.Current())
+		counterTicks++
+
+		// Power.
+		perRail, computeW, ioMemW := p.tickPower(ph, ev, c0, c2, deep, resid)
+		p.meters.Accumulate(perRail, tick)
+		lastComputePower = computeW
+		ioMemPowerInterval += float64(ioMemW)
+		intervalTicks++
+
+		if cfg.TracePower {
+			var tot power.Watt
+			for _, w := range perRail {
+				tot += w
+			}
+			res.PowerTrace = append(res.PowerTrace, float64(tot))
+		}
+
+		res.PointResidency[p.ladderIndex()] += tickSec
+		coreFreqSum += float64(p.cores.Frequency())
+		gfxFreqSum += float64(p.gfx.Frequency())
+
+		p.clock.Advance()
+	}
+
+	elapsed := cfg.Duration.Seconds()
+	res.Score = work / elapsed
+	if activeTime > 0 {
+		res.ActiveScore = work / activeTime
+	}
+	res.AvgPower = p.meters.Total().Average()
+	res.Energy = p.meters.Total().Energy()
+	if res.Score > 0 {
+		res.EDP = float64(res.AvgPower) / (res.Score * res.Score)
+	}
+	for i := 0; i < vf.NumRails; i++ {
+		res.RailAvg[i] = p.meters.Rail(vf.RailID(i)).Average()
+	}
+	res.Transitions = p.flowAgg.n
+	res.TransitionTime = p.flowAgg.total
+	res.MaxTransition = p.flowAgg.max
+	for i := range res.PointResidency {
+		res.PointResidency[i] /= elapsed
+	}
+	res.AvgCoreFreq = vf.Hz(coreFreqSum / float64(nTicks))
+	res.AvgGfxFreq = vf.Hz(gfxFreqSum / float64(nTicks))
+	if counterTicks > 0 {
+		for i := range counterSum {
+			counterSum[i] /= float64(counterTicks)
+		}
+		res.CounterAvg = counterSum
+	}
+	return res, nil
+}
+
+// --- policy execution helpers ---
+
+// bonus budget granted by the active decision, applied on PBM calls.
+func (p *Platform) setBonus(b power.Watt) {
+	if b < 0 {
+		b = 0
+	}
+	p.bonus = b
+}
+
+// executeDecision programs the budget reservations (clamped by the
+// TDP-proportional reservation cap).
+func (p *Platform) executeDecision(now sim.Time, dec PolicyDecision) error {
+	io, mem := dec.IOBudget, dec.MemBudget
+	if io <= 0 {
+		io = p.WorstCaseIOBudget(p.cfg.Ladder[0])
+	}
+	if mem <= 0 {
+		mem = p.WorstCaseMemBudget(p.cfg.Ladder[0])
+	}
+	io, mem = p.clampReservations(io, mem)
+	return p.pbm.SetIOMemoryBudget(io, mem)
+}
+
+// maybeTransition runs the Fig. 5 flow when the target point differs
+// from the current one, honoring the decision's MRC mode.
+func (p *Platform) maybeTransition(now sim.Time, dec PolicyDecision) (sim.Time, error) {
+	if dec.Target.Name == "" || dec.Target == p.current {
+		return 0, nil
+	}
+	opts := pmu.DefaultFlowOptions(p.cfg.Ladder[0].DDR)
+	opts.OptimizedMRC = dec.OptimizedMRC
+	flow, err := pmu.NewFlow(p.rails, p.fabric, p.mc, p.dev, p.store, p.log, opts)
+	if err != nil {
+		return 0, err
+	}
+	// Keep cumulative stats on the platform flow by reusing it when the
+	// options match the default; otherwise account manually.
+	stall, err := flow.Transition(now, dec.Target)
+	if err != nil {
+		return 0, err
+	}
+	p.flowStats(flow)
+	p.current = dec.Target
+	return stall, nil
+}
+
+// flowStats folds a transient flow's statistics into the platform's.
+type flowCounter struct {
+	n     int
+	total sim.Time
+	max   sim.Time
+}
+
+func (p *Platform) flowStats(f *pmu.Flow) {
+	p.flowAgg.n += f.Transitions()
+	p.flowAgg.total += f.TotalTime()
+	if f.MaxTime() > p.flowAgg.max {
+		p.flowAgg.max = f.MaxTime()
+	}
+}
+
+// applyPBM converts the current budgets into compute P-states for the
+// phase, honoring fixed-frequency overrides and policy caps.
+func (p *Platform) applyPBM(ph workload.Phase, coreCap, gfxCap vf.Hz) (vf.Hz, vf.Hz, error) {
+	req := pmu.Request{
+		ActiveCores: ph.ActiveCores,
+		GfxShare:    gfxShareFor(ph),
+		BonusBudget: p.bonus,
+	}
+	// Class-level OS requests: battery workloads request the lowest
+	// usable P-states (§7.3); during graphics workloads the cores run
+	// at the most energy-efficient frequency Pn while the graphics
+	// engines take the rest of the budget (§7.2); throughput CPU
+	// workloads request maximum.
+	if p.cfg.Workload.Class == workload.Battery {
+		req.CoreFreq = 1.2 * vf.GHz
+		req.GfxFreq = 0.45 * vf.GHz
+	} else if req.GfxShare >= 0.75 {
+		req.CoreFreq = 1.2 * vf.GHz
+	}
+	if coreCap > 0 && (req.CoreFreq == 0 || coreCap < req.CoreFreq) {
+		req.CoreFreq = coreCap
+	}
+	if gfxCap > 0 && (req.GfxFreq == 0 || gfxCap < req.GfxFreq) {
+		req.GfxFreq = gfxCap
+	}
+	coreF, gfxF, err := p.pbm.Apply(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Fixed-frequency overrides pin the clocks exactly: the §3
+	// motivation experiments and the §6 scalability probes bypass
+	// budget arbitration by design.
+	if p.cfg.FixedCoreFreq > 0 {
+		if err := p.cores.SetPState(p.cfg.FixedCoreFreq); err != nil {
+			return 0, 0, err
+		}
+		coreF = p.cores.Frequency()
+	}
+	if p.cfg.FixedGfxFreq > 0 {
+		if err := p.gfx.SetPState(p.cfg.FixedGfxFreq); err != nil {
+			return 0, 0, err
+		}
+		gfxF = p.gfx.Frequency()
+	}
+	return coreF, gfxF, nil
+}
+
+// gfxShareFor is the PBM's compute-budget split: graphics workloads
+// hand 80-90% of the compute budget to the graphics engines (§7.2).
+func gfxShareFor(ph workload.Phase) float64 {
+	switch {
+	case ph.GfxFrac > 0.25:
+		return 0.75
+	case ph.GfxFrac > 0.03 || ph.GfxActivity > 0.05:
+		return 0.35
+	default:
+		return 0
+	}
+}
+
+func (p *Platform) ladderIndex() int {
+	for i, op := range p.cfg.Ladder {
+		if op == p.current {
+			return i
+		}
+	}
+	return 0
+}
+
+// --- per-tick evaluation ---
+
+// evalTick resolves the tick's progress-rate fixpoint and component
+// epochs for the active (C0) scenario, plus the C2 (static-only)
+// utilizations used for idle-state power.
+func (p *Platform) evalTick(ph workload.Phase, refLat float64) tickEval {
+	static := p.ioeng.CSR().StaticBandwidth()
+
+	// C2 scenario: only static isochronous traffic flows.
+	c2Mem := p.mc.Evaluate(static)
+	c2Fab := p.fabric.Evaluate(static)
+	ev := tickEval{c2Util: c2Mem.Utilization, c2IO: c2Fab.Utilization, c2BW: c2Mem.AchievedBytes}
+
+	coreEff := float64(p.cores.EffectiveFrequency())
+	gfxF := float64(p.gfx.Frequency())
+	coreSlow := float64(workload.RefCoreFreq) / math.Max(coreEff, 1)
+	gfxSlow := float64(workload.RefGfxFreq) / math.Max(gfxF, 1)
+
+	r := 1.0
+	var mcEp memctrl.Epoch
+	var fabEp interconnect.Epoch
+	for it := 0; it < 16; it++ {
+		memDemand := static + r*ph.MemBW
+		mcEp = p.mc.Evaluate(memDemand)
+		fabEp = p.fabric.Evaluate(static + r*ph.IOBW)
+
+		usable := p.mc.UsableBandwidth()
+		avail := usable - static
+		if avail < 1e6 {
+			avail = 1e6
+		}
+		bwSlow := 1.0
+		if ph.MemBW > 0 {
+			served := math.Min(r*ph.MemBW, avail)
+			if served < 1e6 {
+				served = 1e6
+			}
+			bwSlow = (r * ph.MemBW) / served
+			if bwSlow < 1 {
+				bwSlow = 1
+			}
+		}
+		latSlow := 1.0
+		if refLat > 0 && !math.IsInf(mcEp.Latency, 1) {
+			latSlow = mcEp.Latency / refLat
+		}
+		ioSlow := 1.0
+		if ph.IOBW > 0 {
+			availIO := p.fabric.Capacity() - static
+			if availIO < 1e6 {
+				availIO = 1e6
+			}
+			served := math.Min(r*ph.IOBW, availIO)
+			if served < 1e6 {
+				served = 1e6
+			}
+			ioSlow = (r * ph.IOBW) / served
+			if ioSlow < 1 {
+				ioSlow = 1
+			}
+		}
+
+		t := ph.CoreFrac*coreSlow + ph.GfxFrac*gfxSlow +
+			ph.MemLatFrac*latSlow + ph.MemBWFrac*bwSlow +
+			ph.IOFrac*ioSlow + ph.OtherFrac()
+		if t < 1e-9 {
+			t = 1e-9
+		}
+		rNew := 1 / t
+		r = 0.5*r + 0.5*rNew
+	}
+	ev.r = r
+	ev.mcEp = mcEp
+	ev.fabEp = fabEp
+
+	// LLC epoch for counters: split workload traffic between core and
+	// graphics agents by their compute-boundedness ratio.
+	gfxTraffic := 0.0
+	if d := ph.GfxFrac + ph.CoreFrac; d > 0 {
+		gfxTraffic = ph.GfxFrac / d
+	}
+	wlBytes := r * ph.MemBW
+	// Fraction of wall-clock time the agents spend stalled on memory
+	// latency at the achieved progress rate: the latency-bound share of
+	// the CPI stack scaled by the loaded-vs-reference latency ratio.
+	finalLatSlow := 1.0
+	if refLat > 0 && !math.IsInf(mcEp.Latency, 1) {
+		finalLatSlow = mcEp.Latency / refLat
+	}
+	stallFrac := ph.MemLatFrac * finalLatSlow * r
+	ev.llcEp = p.llc.Evaluate(cache.Traffic{
+		CoreMissBytes: wlBytes * (1 - gfxTraffic),
+		GfxMissBytes:  wlBytes * gfxTraffic,
+		CoreHitBytes:  wlBytes * 2.5, // typical LLC hit:miss byte ratio
+		LatStallFrac:  stallFrac,
+	}, mcEp.Latency)
+	return ev
+}
+
+// setCounters writes the tick's counter file, weighting active-only
+// events by residency (the counters are free-running; idle time simply
+// contributes no events).
+func (p *Platform) setCounters(ev tickEval, c0, c2 float64) {
+	p.counters.Set(perfcounters.GfxLLCMisses, ev.llcEp.GfxMisses*c0)
+	p.counters.Set(perfcounters.LLCOccupancyTracer, ev.llcEp.OccupancyTracer*c0)
+	p.counters.Set(perfcounters.LLCStalls, ev.llcEp.Stalls*c0)
+	p.counters.Set(perfcounters.IORPQ, ev.fabEp.RPQOccupancy*c0)
+	p.counters.Set(perfcounters.CoreCycles, float64(p.cores.EffectiveFrequency())*c0)
+	p.counters.Set(perfcounters.MemReadBytes, ev.mcEp.AchievedBytes*c0*0.7+ev.c2BW*c2*0.7)
+	p.counters.Set(perfcounters.MemWriteBytes, ev.mcEp.AchievedBytes*c0*0.3+ev.c2BW*c2*0.3)
+}
+
+// tickPower computes the tick's per-rail power, returning also the
+// compute-domain and IO+memory-domain sums used by governors.
+func (p *Platform) tickPower(ph workload.Phase, ev tickEval, c0, c2, deep float64, orig compute.Residency) ([vf.NumRails]power.Watt, power.Watt, power.Watt) {
+	var rails [vf.NumRails]power.Watt
+
+	// Split the deep fraction between C6 and C8 in their original
+	// proportions.
+	c6, c8 := 0.0, 0.0
+	if d := orig.C6 + orig.C8; d > 0 {
+		c6 = deep * orig.C6 / d
+		c8 = deep * orig.C8 / d
+	}
+
+	// Compute domain.
+	coreActive := p.cores.ActivePower(ph.ActiveCores, ph.CoreActivity)
+	llcW := p.llc.Power(p.cores.Voltage(), p.cores.Frequency(), ev.mcEp.AchievedBytes*3.5)
+	coreW := power.Watt(c0)*(coreActive+llcW) +
+		power.Watt(c2)*p.cores.IdlePower(compute.C2) +
+		power.Watt(c6)*p.cores.IdlePower(compute.C6) +
+		power.Watt(c8)*p.cores.IdlePower(compute.C8)
+	rails[vf.RailVCore] = coreW
+
+	var gfxW power.Watt
+	if ph.GfxActivity > 0 {
+		gfxW = power.Watt(c0) * p.gfx.ActivePower(ph.GfxActivity)
+	} else {
+		gfxW = power.Watt(c0) * gfxGatedPower
+	}
+	gfxW += power.Watt(c2+c6)*gfxGatedPower + power.Watt(c8)*gfxOffPower
+	rails[vf.RailVGfx] = gfxW
+
+	// IO + memory domains: active and C2 run with their respective
+	// utilizations; deep states are gated to residuals.
+	mcW := power.Watt(c0)*p.mc.Power(ev.mcEp.Utilization) + power.Watt(c2)*p.mc.Power(ev.c2Util)
+	fabW := power.Watt(c0)*p.fabric.Power(ev.fabEp.Utilization) + power.Watt(c2)*p.fabric.Power(ev.c2IO)
+	engW := power.Watt(c0+c2) * p.ioeng.Power(p.rails.Voltage(vf.RailVSA), p.fabric.Frequency())
+	saGated := power.Watt(c6+c8) * saResidualPower
+	uncore := power.Watt(c0+c2)*uncorePower + power.Watt(c6+c8)*uncoreIdlePower
+	rails[vf.RailVSA] = mcW + fabW + engW + saGated + uncore
+
+	dramActiveW := p.dramPow.Draw(p.dev, ev.mcEp.AchievedBytes, ev.mcEp.Utilization)
+	dramC2W := p.dramPow.Draw(p.dev, ev.c2BW, ev.c2Util)
+	rails[vf.RailVDDQ] = power.Watt(c0)*dramActiveW + power.Watt(c2)*dramC2W +
+		power.Watt(c6+c8)*p.dramPow.SelfRefresh
+
+	vio := p.rails.Voltage(vf.RailVIO)
+	rails[vf.RailVIO] = power.Watt(c0)*p.ddrio.Power(vio, p.dev.Frequency(), ev.mcEp.Utilization) +
+		power.Watt(c2)*p.ddrio.Power(vio, p.dev.Frequency(), ev.c2Util) +
+		power.Watt(c6+c8)*ddrioOffPower
+
+	computeW := rails[vf.RailVCore] + rails[vf.RailVGfx]
+	ioMemW := rails[vf.RailVSA] + rails[vf.RailVDDQ] + rails[vf.RailVIO]
+	return rails, computeW, ioMemW
+}
+
+// Idle/gated residual draws.
+const (
+	gfxGatedPower   power.Watt = 0.012
+	gfxOffPower     power.Watt = 0.002
+	saResidualPower power.Watt = 0.010
+	uncoreIdlePower power.Watt = 0.005
+	ddrioOffPower   power.Watt = 0.004
+)
+
+func addSample(a, b perfcounters.Sample) perfcounters.Sample {
+	for i := range a {
+		a[i] += b[i]
+	}
+	return a
+}

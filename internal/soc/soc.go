@@ -1,0 +1,311 @@
+// Package soc assembles the full mobile SoC model — compute, IO and
+// memory domains, rails, PMU flow, counters, meters — and runs the
+// epoch simulation that stands in for the paper's real Skylake system.
+//
+// The package defines the Policy interface that power-management
+// governors implement (SysScale and the baselines live in
+// internal/policy) and exposes Run, the simulation entry point.
+package soc
+
+import (
+	"fmt"
+
+	"sysscale/internal/cache"
+	"sysscale/internal/compute"
+	"sysscale/internal/dram"
+	"sysscale/internal/interconnect"
+	"sysscale/internal/ioengine"
+	"sysscale/internal/memctrl"
+	"sysscale/internal/mrc"
+	"sysscale/internal/perfcounters"
+	"sysscale/internal/pmu"
+	"sysscale/internal/power"
+	"sysscale/internal/sim"
+	"sysscale/internal/vf"
+	"sysscale/internal/workload"
+)
+
+// PolicyContext is the information a governor sees at each evaluation
+// interval: exactly what the PMU firmware can observe — averaged
+// counters, peripheral CSRs, the operating-point ladder, and the
+// worst-case budget table. No oracle workload knowledge is exposed.
+type PolicyContext struct {
+	Now      sim.Time
+	Interval sim.Time
+	// Counters is the window-averaged sample (1ms samples averaged
+	// over the evaluation interval, §4.3).
+	Counters perfcounters.Sample
+	// CSR is the IO peripheral configuration register file.
+	CSR ioengine.CSR
+	// Current is the active IO+memory operating point.
+	Current vf.OperatingPoint
+	// Ladder is the supported operating points, highest first.
+	Ladder []vf.OperatingPoint
+	// WorstIO and WorstMem return the worst-case power budget the
+	// domain needs at an operating point (the PBM reservation table).
+	WorstIO  func(vf.OperatingPoint) power.Watt
+	WorstMem func(vf.OperatingPoint) power.Watt
+	// ComputeBudget and ComputePower report last interval's compute
+	// allocation and measured draw (used by running-average governors
+	// such as CoScale's credit mechanism).
+	ComputeBudget power.Watt
+	ComputePower  power.Watt
+	// IOMemPower is the measured IO+memory domain draw averaged over
+	// the last interval — the quantity the MemScale/CoScale projection
+	// turns into a redistribution credit (§6).
+	IOMemPower power.Watt
+	// CoreFreq is the core P-state granted in the last interval.
+	CoreFreq vf.Hz
+	// Warmup is true on the first evaluation after reset, before any
+	// counter samples exist.
+	Warmup bool
+	// GfxBusy hints that the driver has an active graphics context
+	// (drivers know this; it selects the PBM split).
+	GfxBusy bool
+}
+
+// PolicyDecision is a governor's output for the next interval.
+type PolicyDecision struct {
+	// Target operating point for the IO and memory domains.
+	Target vf.OperatingPoint
+	// OptimizedMRC selects per-frequency register images (SysScale);
+	// false keeps the boot image (MemScale/CoScale, Observation 4).
+	OptimizedMRC bool
+	// IOBudget and MemBudget are the domain reservations to program
+	// into the PBM.
+	IOBudget, MemBudget power.Watt
+	// CoreFreqReq and GfxFreqReq cap the compute P-states (0 = let the
+	// PBM grant the budget maximum). CoScale uses CoreFreqReq.
+	CoreFreqReq, GfxFreqReq vf.Hz
+	// ComputeBonus is extra compute budget granted this interval from
+	// a governor-managed running-average credit (CoScale-Redist).
+	ComputeBonus power.Watt
+}
+
+// Policy is a power-management governor. Implementations must be
+// deterministic functions of the context (plus their own state).
+type Policy interface {
+	// Name identifies the governor in results.
+	Name() string
+	// Decide returns the governor's decision for the next interval.
+	Decide(ctx PolicyContext) PolicyDecision
+	// Reset clears internal state before a run.
+	Reset()
+}
+
+// Config describes one simulation run.
+type Config struct {
+	TDP      power.Watt
+	DRAMKind dram.Kind
+	Ladder   []vf.OperatingPoint // highest first; index 0 is the boot point
+	CSR      ioengine.CSR
+	Workload workload.Workload
+	Policy   Policy
+	Duration sim.Time
+
+	// EvalInterval is the PMU algorithm period (§4.3: 30ms default);
+	// SampleInterval is the counter sampling period (1ms default).
+	EvalInterval   sim.Time
+	SampleInterval sim.Time
+
+	// FixedCoreFreq pins the CPU cores (used by the §3 motivation
+	// experiments, which fix 1.2 or 1.3GHz). 0 = PBM-managed.
+	FixedCoreFreq vf.Hz
+	// FixedGfxFreq pins the graphics engines. 0 = PBM-managed.
+	FixedGfxFreq vf.Hz
+
+	// Seed drives any stochastic model elements.
+	Seed uint64
+
+	// RecordEvents enables the event log (flow tracing).
+	RecordEvents bool
+	// TracePower records a per-tick package power trace in the result.
+	TracePower bool
+}
+
+// DefaultConfig returns the Table 2 platform: 4.5W TDP, LPDDR3-1600,
+// the two-point ladder, one HD panel, 30ms evaluation interval.
+func DefaultConfig() Config {
+	return Config{
+		TDP:            4.5,
+		DRAMKind:       dram.LPDDR3,
+		Ladder:         vf.TwoPointLadder(),
+		CSR:            ioengine.SingleHDLaptop(),
+		Duration:       2 * sim.Second,
+		EvalInterval:   30 * sim.Millisecond,
+		SampleInterval: 1 * sim.Millisecond,
+		Seed:           1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.TDP <= 0 {
+		return fmt.Errorf("soc: non-positive TDP")
+	}
+	if len(c.Ladder) == 0 {
+		return fmt.Errorf("soc: empty operating-point ladder")
+	}
+	for _, op := range c.Ladder {
+		if err := op.Validate(); err != nil {
+			return err
+		}
+		if !c.DRAMKind.SupportsBin(op.DDR) {
+			return fmt.Errorf("soc: ladder point %s uses unsupported bin %v", op.Name, op.DDR)
+		}
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("soc: nil policy")
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("soc: non-positive duration")
+	}
+	if c.EvalInterval <= 0 || c.SampleInterval <= 0 {
+		return fmt.Errorf("soc: non-positive interval")
+	}
+	if c.SampleInterval > c.EvalInterval {
+		return fmt.Errorf("soc: sample interval exceeds evaluation interval")
+	}
+	return nil
+}
+
+// Platform is one assembled SoC instance.
+type Platform struct {
+	cfg Config
+
+	clock    *sim.Clock
+	rails    *vf.Rails
+	dev      *dram.Device
+	store    *mrc.Store
+	mc       *memctrl.Controller
+	llc      *cache.LLC
+	fabric   *interconnect.Fabric
+	ioeng    *ioengine.Engines
+	cores    *compute.Cores
+	gfx      *compute.Gfx
+	ddrio    *ddrio
+	counters *perfcounters.File
+	meters   *power.MeterBank
+	budget   *power.Budget
+	pbm      *pmu.PBM
+	flow     *pmu.Flow
+	log      *sim.EventLog
+	dramPow  dram.PowerParams
+
+	// reference memory model for phase-relative latency.
+	refMC *memctrl.Controller
+
+	current vf.OperatingPoint
+	bonus   power.Watt
+	flowAgg flowCounter
+}
+
+// NewPlatform assembles an SoC without running it, for callers that
+// need the budget tables or component models (the experiment harness).
+func NewPlatform(cfg Config) (*Platform, error) { return newPlatform(cfg) }
+
+// newPlatform assembles the SoC at the boot operating point (ladder[0])
+// with the MRC trained for every bin.
+func newPlatform(cfg Config) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	boot := cfg.Ladder[0]
+
+	p := &Platform{cfg: cfg, current: boot}
+	p.clock = sim.NewClock(cfg.SampleInterval)
+	p.rails = vf.DefaultRails()
+	if cfg.RecordEvents {
+		p.log = sim.NewEventLog(0)
+	}
+
+	var err error
+	p.dev, err = dram.NewDevice(cfg.DRAMKind, dram.DefaultGeometry(), boot.DDR)
+	if err != nil {
+		return nil, err
+	}
+	p.store, err = mrc.Train(cfg.DRAMKind)
+	if err != nil {
+		return nil, err
+	}
+	p.mc, err = memctrl.New(memctrl.DefaultParams(), p.dev)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.mc.SetOperatingPoint(boot.MC, boot.VSA); err != nil {
+		return nil, err
+	}
+	p.llc, err = cache.New(cache.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	p.fabric, err = interconnect.New(interconnect.DefaultParams(), boot.Interco, boot.VSA)
+	if err != nil {
+		return nil, err
+	}
+	p.ioeng = ioengine.NewEngines()
+	p.ioeng.Configure(cfg.CSR)
+	p.cores, err = compute.NewCores(compute.DefaultCoreParams())
+	if err != nil {
+		return nil, err
+	}
+	p.gfx, err = compute.NewGfx(compute.DefaultGfxParams())
+	if err != nil {
+		return nil, err
+	}
+	p.ddrio = newDDRIO()
+	p.counters = perfcounters.New()
+	p.meters = power.NewMeterBank()
+	p.dramPow = dram.DefaultPowerParams()
+
+	// Program rails to the boot point.
+	if _, err := p.rails.Get(vf.RailVSA).Set(boot.VSA); err != nil {
+		return nil, err
+	}
+	if _, err := p.rails.Get(vf.RailVIO).Set(boot.VIO); err != nil {
+		return nil, err
+	}
+
+	// Budget: boot reservations are the worst case at the boot point.
+	io, mem := p.clampReservations(p.WorstCaseIOBudget(boot), p.WorstCaseMemBudget(boot))
+	p.budget, err = power.NewBudget(cfg.TDP, io, mem, uncoreBudget)
+	if err != nil {
+		return nil, err
+	}
+	p.pbm, err = pmu.NewPBM(p.budget, p.cores, p.gfx)
+	if err != nil {
+		return nil, err
+	}
+	p.flow, err = pmu.NewFlow(p.rails, p.fabric, p.mc, p.dev, p.store, p.log, pmu.DefaultFlowOptions(boot.DDR))
+	if err != nil {
+		return nil, err
+	}
+
+	// Reference memory model: a scratch controller pinned at the
+	// highest point with trained timing, used to define each phase's
+	// reference latency.
+	refDev, err := dram.NewDevice(cfg.DRAMKind, dram.DefaultGeometry(), boot.DDR)
+	if err != nil {
+		return nil, err
+	}
+	p.refMC, err = memctrl.New(memctrl.DefaultParams(), refDev)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.refMC.SetOperatingPoint(boot.MC, boot.VSA); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// EventLog returns the run's event log (nil unless RecordEvents).
+func (p *Platform) EventLog() *sim.EventLog { return p.log }
+
+// uncoreBudget is the fixed reservation for miscellaneous uncore logic.
+const uncoreBudget power.Watt = 0.20
+
+// uncorePower is the actual uncore draw while the package is active.
+const uncorePower power.Watt = 0.10

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders a horizontal ASCII bar chart — the experiment
+// harness uses it to draw the paper's bar figures (Figs. 7-9) directly
+// in the terminal.
+type BarChart struct {
+	title string
+	unit  string
+	width int
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+}
+
+// NewBarChart creates a chart; width is the maximum bar length in
+// characters (default 40 if <= 0).
+func NewBarChart(title, unit string, width int) *BarChart {
+	if width <= 0 {
+		width = 40
+	}
+	return &BarChart{title: title, unit: unit, width: width}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.rows = append(c.rows, barRow{label: label, value: value})
+}
+
+// String renders the chart. Bars scale to the largest absolute value;
+// negative values render with a leading minus block.
+func (c *BarChart) String() string {
+	if len(c.rows) == 0 {
+		return c.title + " (empty)\n"
+	}
+	maxAbs := 0.0
+	labelW := 0
+	for _, r := range c.rows {
+		if a := math.Abs(r.value); a > maxAbs {
+			maxAbs = a
+		}
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	var b strings.Builder
+	if c.title != "" {
+		b.WriteString(c.title)
+		b.WriteByte('\n')
+	}
+	for _, r := range c.rows {
+		n := int(math.Round(math.Abs(r.value) / maxAbs * float64(c.width)))
+		bar := strings.Repeat("#", n)
+		if r.value < 0 {
+			bar = "-" + bar
+		}
+		fmt.Fprintf(&b, "  %-*s %7.2f%s |%s\n", labelW, r.label, r.value, c.unit, bar)
+	}
+	return b.String()
+}
+
+// ViolinChart renders per-group distribution summaries as ASCII
+// box-plots (the Fig. 10 violins).
+type ViolinChart struct {
+	title string
+	width int
+	rows  []violinRow
+}
+
+type violinRow struct {
+	label string
+	v     ViolinSummary
+}
+
+// NewViolinChart creates the chart; width is the plot span in
+// characters.
+func NewViolinChart(title string, width int) *ViolinChart {
+	if width <= 0 {
+		width = 50
+	}
+	return &ViolinChart{title: title, width: width}
+}
+
+// Add appends one group's distribution.
+func (c *ViolinChart) Add(label string, v ViolinSummary) {
+	c.rows = append(c.rows, violinRow{label: label, v: v})
+}
+
+// String renders each group as   |----[==M==]----|  between the global
+// min and max, with M at the median.
+func (c *ViolinChart) String() string {
+	if len(c.rows) == 0 {
+		return c.title + " (empty)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	labelW := 0
+	for _, r := range c.rows {
+		lo = math.Min(lo, r.v.Min)
+		hi = math.Max(hi, r.v.Max)
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	pos := func(x float64) int {
+		p := int(math.Round((x - lo) / (hi - lo) * float64(c.width-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p >= c.width {
+			p = c.width - 1
+		}
+		return p
+	}
+	var b strings.Builder
+	if c.title != "" {
+		b.WriteString(c.title)
+		b.WriteByte('\n')
+	}
+	for _, r := range c.rows {
+		line := make([]byte, c.width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for i := pos(r.v.Min); i <= pos(r.v.Max); i++ {
+			line[i] = '-'
+		}
+		for i := pos(r.v.P25); i <= pos(r.v.P75); i++ {
+			line[i] = '='
+		}
+		line[pos(r.v.Min)] = '|'
+		line[pos(r.v.Max)] = '|'
+		line[pos(r.v.Median)] = 'M'
+		fmt.Fprintf(&b, "  %-*s %s  (med %.1f, mean %.1f)\n", labelW, r.label, string(line), r.v.Median, r.v.Mean)
+	}
+	fmt.Fprintf(&b, "  %-*s %-*.1f%*.1f\n", labelW, "", c.width/2, lo, c.width-c.width/2, hi)
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("Gains", "%", 20)
+	c.Add("alpha", 10)
+	c.Add("beta", 5)
+	c.Add("gamma", -2.5)
+	out := c.String()
+	if !strings.Contains(out, "Gains") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Largest value gets the full width.
+	if !strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	// Half value gets about half the bar.
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) || strings.Contains(lines[2], strings.Repeat("#", 12)) {
+		t.Fatalf("proportionality broken: %q", lines[2])
+	}
+	// Negative values carry the minus marker.
+	if !strings.Contains(lines[3], "|-") {
+		t.Fatalf("negative bar unmarked: %q", lines[3])
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	if out := NewBarChart("x", "", 10).String(); !strings.Contains(out, "empty") {
+		t.Fatal("empty chart not flagged")
+	}
+	c := NewBarChart("z", "", 10)
+	c.Add("a", 0)
+	if out := c.String(); !strings.Contains(out, "a") {
+		t.Fatal("zero-valued chart broken")
+	}
+}
+
+func TestViolinChart(t *testing.T) {
+	c := NewViolinChart("TDP", 40)
+	c.Add("3.5W", ViolinSummary{Min: 0, P25: 5, Median: 12, P75: 18, Max: 24, Mean: 11})
+	c.Add("15W", ViolinSummary{Min: -2, P25: 0, Median: 0, P75: 1, Max: 2, Mean: 0})
+	out := c.String()
+	if !strings.Contains(out, "TDP") || !strings.Contains(out, "M") {
+		t.Fatalf("violin missing markers: %q", out)
+	}
+	if !strings.Contains(out, "med 12.0") {
+		t.Fatal("median annotation missing")
+	}
+	// Axis line shows global bounds.
+	if !strings.Contains(out, "-2.0") || !strings.Contains(out, "24.0") {
+		t.Fatalf("axis bounds missing: %q", out)
+	}
+}
+
+func TestViolinChartEmpty(t *testing.T) {
+	if out := NewViolinChart("x", 10).String(); !strings.Contains(out, "empty") {
+		t.Fatal("empty violin not flagged")
+	}
+}

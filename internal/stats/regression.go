@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearModel is a multivariate linear model y = b0 + Σ bi·xi, fit by
+// ordinary least squares. SysScale's dynamic-demand predictor (Fig. 6)
+// is such a model over the four performance counters, trained offline
+// on a calibration sweep (§4.2).
+type LinearModel struct {
+	Intercept float64
+	Coeffs    []float64
+}
+
+// FitLinear fits y ≈ b0 + Σ bi·xi by solving the normal equations with
+// Gaussian elimination. rows[i] is one observation's feature vector.
+// It returns an error if the inputs are empty, ragged, or the system is
+// singular (features linearly dependent).
+func FitLinear(rows [][]float64, ys []float64) (LinearModel, error) {
+	n := len(rows)
+	if n == 0 || n != len(ys) {
+		return LinearModel{}, fmt.Errorf("stats: need matching non-empty rows and ys (%d, %d)", n, len(ys))
+	}
+	k := len(rows[0])
+	for i, r := range rows {
+		if len(r) != k {
+			return LinearModel{}, fmt.Errorf("stats: ragged row %d (%d features, want %d)", i, len(r), k)
+		}
+	}
+	d := k + 1 // intercept column
+	// Build normal equations A·b = c where A = XᵀX, c = Xᵀy.
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d+1)
+	}
+	feat := func(row []float64, j int) float64 {
+		if j == 0 {
+			return 1
+		}
+		return row[j-1]
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < d; i++ {
+			fi := feat(rows[r], i)
+			for j := 0; j < d; j++ {
+				a[i][j] += fi * feat(rows[r], j)
+			}
+			a[i][d] += fi * ys[r]
+		}
+	}
+	// Tiny ridge term on the non-intercept diagonal: keeps the system
+	// solvable when a feature is constant in the training set (for
+	// example GFX_LLC_MISSES on CPU-only workloads) by driving that
+	// feature's coefficient to zero instead of failing.
+	for i := 1; i < d; i++ {
+		a[i][i] += 1e-8 * (1 + a[i][i])
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < d; col++ {
+		pivot := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			return LinearModel{}, fmt.Errorf("stats: singular design matrix at column %d", col)
+		}
+		inv := 1 / a[col][col]
+		for j := col; j <= d; j++ {
+			a[col][j] *= inv
+		}
+		for r := 0; r < d; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := col; j <= d; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	m := LinearModel{Intercept: a[0][d], Coeffs: make([]float64, k)}
+	for i := 0; i < k; i++ {
+		m.Coeffs[i] = a[i+1][d]
+	}
+	return m, nil
+}
+
+// Predict evaluates the model on one feature vector.
+func (m LinearModel) Predict(x []float64) float64 {
+	y := m.Intercept
+	for i, c := range m.Coeffs {
+		if i < len(x) {
+			y += c * x[i]
+		}
+	}
+	return y
+}
+
+// R2 returns the coefficient of determination of the model over a
+// dataset.
+func (m LinearModel) R2(rows [][]float64, ys []float64) float64 {
+	if len(rows) == 0 || len(rows) != len(ys) {
+		return 0
+	}
+	my := Mean(ys)
+	var ssRes, ssTot float64
+	for i, r := range rows {
+		d := ys[i] - m.Predict(r)
+		ssRes += d * d
+		t := ys[i] - my
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,145 @@
+// Package stats provides the statistics used by SysScale's calibration
+// and by the experiment harness: moments, Pearson correlation,
+// least-squares linear regression (the Fig. 6 predictor), percentile /
+// violin summaries (Fig. 10), and a plain-text table renderer.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MeanStd returns both moments in one pass-friendly call.
+func MeanStd(xs []float64) (mean, std float64) {
+	return Mean(xs), StdDev(xs)
+}
+
+// Min returns the smallest element (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Correlation returns the Pearson correlation coefficient of paired
+// samples. It panics on length mismatch and returns 0 when either
+// series is constant.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: correlation length mismatch")
+	}
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Percentile returns the p-th percentile (0-100) of xs using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// ViolinSummary is the distribution summary the Fig. 10 violin plots
+// convey: extremes, quartiles, median and mean.
+type ViolinSummary struct {
+	Min, P25, Median, P75, Max, Mean float64
+}
+
+// Violin computes a ViolinSummary of xs.
+func Violin(xs []float64) ViolinSummary {
+	return ViolinSummary{
+		Min:    Min(xs),
+		P25:    Percentile(xs, 25),
+		Median: Median(xs),
+		P75:    Percentile(xs, 75),
+		Max:    Max(xs),
+		Mean:   Mean(xs),
+	}
+}
+
+func (v ViolinSummary) String() string {
+	return fmt.Sprintf("min %.2f / p25 %.2f / med %.2f / p75 %.2f / max %.2f (mean %.2f)",
+		v.Min, v.P25, v.Median, v.P75, v.Max, v.Mean)
+}

@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMoments(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("stddev = %v", s)
+	}
+	m, s := MeanStd(xs)
+	if m != 5 || s != 2 {
+		t.Fatal("MeanStd mismatch")
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty input not zero")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("min/max wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty min/max not zero")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if c := Correlation(x, y); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", c)
+	}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	if c := Correlation(x, yNeg); math.Abs(c+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", c)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if Correlation(x, flat) != 0 {
+		t.Fatal("constant series correlation not zero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch not detected")
+		}
+	}()
+	Correlation(x, []float64{1})
+}
+
+func TestCorrelationSymmetric(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		x, y := raw[:n], raw[n:2*n]
+		for _, v := range raw {
+			// Bound the magnitude: squaring near-max float64 values
+			// overflows the covariance sums to Inf, which is not the
+			// property under test.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		for i := range x {
+			x[i] = math.Mod(x[i], 1e6)
+			y[i] = math.Mod(y[i], 1e6)
+		}
+		a, b := Correlation(x, y), Correlation(y, x)
+		return math.Abs(a-b) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 10 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Median(xs); p != 5.5 {
+		t.Fatalf("median = %v", p)
+	}
+	if p := Percentile(xs, 25); math.Abs(p-3.25) > 1e-12 {
+		t.Fatalf("p25 = %v", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile not zero")
+	}
+}
+
+func TestViolin(t *testing.T) {
+	xs := []float64{0, 5, 10, 15, 20}
+	v := Violin(xs)
+	if v.Min != 0 || v.Max != 20 || v.Median != 10 || v.Mean != 10 {
+		t.Fatalf("violin = %+v", v)
+	}
+	if !strings.Contains(v.String(), "med 10.00") {
+		t.Fatalf("violin string = %q", v.String())
+	}
+}
+
+func TestFitLinearRecovers(t *testing.T) {
+	// y = 3 + 2a - b must be recovered exactly from exact data.
+	var rows [][]float64
+	var ys []float64
+	for a := 0.0; a < 5; a++ {
+		for b := 0.0; b < 5; b++ {
+			rows = append(rows, []float64{a, b})
+			ys = append(ys, 3+2*a-b)
+		}
+	}
+	m, err := FitLinear(rows, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-3) > 1e-6 || math.Abs(m.Coeffs[0]-2) > 1e-6 || math.Abs(m.Coeffs[1]+1) > 1e-6 {
+		t.Fatalf("model = %+v", m)
+	}
+	if r2 := m.R2(rows, ys); r2 < 0.999999 {
+		t.Fatalf("R2 = %v", r2)
+	}
+	if p := m.Predict([]float64{1, 1}); math.Abs(p-4) > 1e-6 {
+		t.Fatalf("predict = %v", p)
+	}
+}
+
+func TestFitLinearDegenerateColumn(t *testing.T) {
+	// A constant (all-zero) feature must not make the fit fail — the
+	// GFX counter is identically zero on CPU-only panels.
+	rows := [][]float64{{0, 1}, {0, 2}, {0, 3}, {0, 4}}
+	ys := []float64{2, 4, 6, 8}
+	m, err := FitLinear(rows, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Predict([]float64{0, 5})-10) > 1e-3 {
+		t.Fatalf("degenerate fit predicts %v", m.Predict([]float64{0, 5}))
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if _, err := FitLinear([][]float64{{1}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := FitLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestFitLinearPropertyResidualOrthogonal(t *testing.T) {
+	// Property: OLS residuals are uncorrelated with each feature.
+	err := quick.Check(func(seed uint8) bool {
+		rows := make([][]float64, 40)
+		ys := make([]float64, 40)
+		s := float64(seed) + 1
+		for i := range rows {
+			a := math.Sin(s * float64(i+1))
+			b := math.Cos(s * float64(i+2) * 1.3)
+			rows[i] = []float64{a, b}
+			ys[i] = 1 + 0.5*a - 2*b + 0.1*math.Sin(float64(i)*7)
+		}
+		m, err := FitLinear(rows, ys)
+		if err != nil {
+			return false
+		}
+		var dot0, dot1 float64
+		for i, r := range rows {
+			res := ys[i] - m.Predict(r)
+			dot0 += res * r[0]
+			dot1 += res * r[1]
+		}
+		// The tiny ridge term trades exact orthogonality for
+		// robustness; allow a proportionally tiny residual projection.
+		return math.Abs(dot0) < 1e-3 && math.Abs(dot1) < 1e-3
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "A", "BB")
+	tab.AddRow("x", "y")
+	tab.AddRowf("long-cell", 3.14159)
+	out := tab.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "long-cell") || !strings.Contains(out, "3.14") {
+		t.Fatalf("table = %q", out)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	// Extra cells dropped, missing cells empty.
+	tab.AddRow("a", "b", "c", "d")
+	tab.AddRow("only")
+	if !strings.Contains(tab.String(), "only") {
+		t.Fatal("short row lost")
+	}
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON serialization for workload traces: cmd/tracegen dumps suites to
+// disk, and users can define custom workloads as JSON and replay them
+// through the simulator. The wire format spells durations in
+// nanoseconds (sim.Time's underlying unit) and classes by name.
+
+// MarshalJSON encodes the class by name.
+func (c Class) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.String())
+}
+
+// UnmarshalJSON decodes a class name.
+func (c *Class) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "cpu-st":
+		*c = CPUSingleThread
+	case "cpu-mt":
+		*c = CPUMultiThread
+	case "graphics":
+		*c = Graphics
+	case "battery":
+		*c = Battery
+	case "micro":
+		*c = Micro
+	default:
+		return fmt.Errorf("workload: unknown class %q", s)
+	}
+	return nil
+}
+
+// WriteJSON encodes a workload (indented) to w.
+func WriteJSON(w io.Writer, wl Workload) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wl)
+}
+
+// ReadJSON decodes and validates one workload from r.
+func ReadJSON(r io.Reader) (Workload, error) {
+	var wl Workload
+	if err := json.NewDecoder(r).Decode(&wl); err != nil {
+		return Workload{}, fmt.Errorf("workload: decode: %w", err)
+	}
+	if err := wl.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return wl, nil
+}
+
+// ReadJSONList decodes and validates a JSON array of workloads.
+func ReadJSONList(r io.Reader) ([]Workload, error) {
+	var wls []Workload
+	if err := json.NewDecoder(r).Decode(&wls); err != nil {
+		return nil, fmt.Errorf("workload: decode list: %w", err)
+	}
+	for i, wl := range wls {
+		if err := wl.Validate(); err != nil {
+			return nil, fmt.Errorf("workload %d: %w", i, err)
+		}
+	}
+	return wls, nil
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := SPEC("473.astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.Class != orig.Class || len(back.Phases) != len(orig.Phases) {
+		t.Fatal("round trip lost structure")
+	}
+	for i := range orig.Phases {
+		if back.Phases[i] != orig.Phases[i] {
+			t.Fatalf("phase %d differs: %+v vs %+v", i, back.Phases[i], orig.Phases[i])
+		}
+	}
+}
+
+func TestJSONClassNames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, Stream()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"micro"`) {
+		t.Fatalf("class not encoded by name: %s", buf.String())
+	}
+}
+
+func TestJSONListRoundTrip(t *testing.T) {
+	ws := Synthetic(SyntheticSpec{Class: CPUSingleThread, Count: 3, Seed: 4})
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i, w := range ws {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		if err := WriteJSON(&buf, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.WriteByte(']')
+	back, err := ReadJSONList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("list length = %d", len(back))
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"Name":"x","Class":"cpu-st","Phases":[]}`)); err == nil {
+		t.Fatal("phaseless workload accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"Name":"x","Class":"bogus"}`)); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadJSONList(strings.NewReader(`[{"Name":"","Class":"cpu-st"}]`)); err == nil {
+		t.Fatal("invalid list element accepted")
+	}
+}

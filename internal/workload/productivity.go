@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"sysscale/internal/compute"
+	"sysscale/internal/sim"
+)
+
+// Office-productivity workloads in the style of SYSmark/MobileMark —
+// the representative sets the paper's calibration phase ran alongside
+// SPEC and 3DMark (footnote 6). They sit between the throughput and
+// battery classes: bursty interactive compute with moderate idle time
+// and light-to-moderate memory traffic.
+
+// prodPhase is a compact phase description for the suite.
+type prodPhase struct {
+	dur  sim.Time
+	core float64
+	lat  float64
+	bw   float64
+	io   float64
+	mem  float64 // GB/s
+	ioBW float64 // GB/s
+	c0   float64
+	act  float64
+}
+
+func prodWorkload(name string, phases []prodPhase) Workload {
+	out := Workload{Name: name, Class: Battery}
+	for _, p := range phases {
+		idle := 1 - p.c0
+		out.Phases = append(out.Phases, Phase{
+			Duration:     p.dur,
+			CoreFrac:     p.core,
+			MemLatFrac:   p.lat,
+			MemBWFrac:    p.bw,
+			IOFrac:       p.io,
+			MemBW:        GB(p.mem),
+			IOBW:         GB(p.ioBW),
+			ActiveCores:  2,
+			CoreActivity: p.act,
+			Residency: compute.Residency{
+				C0: p.c0,
+				C2: idle * 0.1,
+				C6: idle * 0.45,
+				C8: idle * 0.45,
+			},
+		})
+	}
+	return out
+}
+
+// OfficeProductivity models a SYSmark-style document/spreadsheet
+// session: short compute bursts (recalculation, rendering) between
+// think-time idles.
+func OfficeProductivity() Workload {
+	return prodWorkload("office-productivity", []prodPhase{
+		{dur: 1500 * sim.Millisecond, core: 0.55, lat: 0.15, bw: 0.05, io: 0.06, mem: 1.4, ioBW: 0.2, c0: 0.35, act: 0.6},
+		{dur: 2500 * sim.Millisecond, core: 0.45, lat: 0.12, bw: 0.04, io: 0.08, mem: 1.0, ioBW: 0.15, c0: 0.18, act: 0.5},
+	})
+}
+
+// PhotoEditing models a MobileMark-style media-creation segment:
+// filter passes with real bandwidth appetite alternating with idle
+// inspection time.
+func PhotoEditing() Workload {
+	return prodWorkload("photo-editing", []prodPhase{
+		{dur: 1 * sim.Second, core: 0.40, lat: 0.14, bw: 0.22, io: 0.05, mem: 4.8, ioBW: 0.3, c0: 0.40, act: 0.7},
+		{dur: 2 * sim.Second, core: 0.50, lat: 0.10, bw: 0.05, io: 0.05, mem: 1.2, ioBW: 0.1, c0: 0.15, act: 0.5},
+	})
+}
+
+// SpreadsheetCompute models a heavy recalculation batch: sustained
+// two-core compute with latency-sensitive pointer chasing.
+func SpreadsheetCompute() Workload {
+	return prodWorkload("spreadsheet-compute", []prodPhase{
+		{dur: 2 * sim.Second, core: 0.62, lat: 0.18, bw: 0.06, io: 0.03, mem: 2.2, ioBW: 0.1, c0: 0.38, act: 0.72},
+	})
+}
+
+// ProductivitySuite returns the office-productivity set used by the
+// calibration sweep.
+func ProductivitySuite() []Workload {
+	return []Workload{OfficeProductivity(), PhotoEditing(), SpreadsheetCompute()}
+}

@@ -1,0 +1,242 @@
+// Package workload defines the workload model and the workload suites
+// used in the paper's evaluation: SPEC CPU2006 (§7.1), 3DMark graphics
+// (§7.2), battery-life workloads (§7.3), a STREAM-like peak-bandwidth
+// microbenchmark (§3, Fig. 4), and the synthetic sweep generator behind
+// the >1600-run prediction study of Fig. 6.
+//
+// A workload is a sequence of phases. Each phase carries a CPI-stack
+// decomposition — what fraction of its time is bound by the CPU cores,
+// the graphics engines, main-memory latency, main-memory bandwidth, and
+// IO — plus its absolute memory/IO bandwidth demands. Fractions are
+// defined at the *reference conditions* below; the SoC model translates
+// them into progress rates at any operating point. This demand-centric
+// description is exactly the level at which SysScale's PMU algorithm
+// observes workloads (through counters), which is what matters for
+// reproducing the paper's results.
+package workload
+
+import (
+	"fmt"
+
+	"sysscale/internal/compute"
+	"sysscale/internal/sim"
+	"sysscale/internal/vf"
+)
+
+// Reference conditions at which phase fractions are defined: the
+// typical operating point of the evaluated 4.5W platform (cores near
+// their budget-limited turbo, graphics near its budget point, memory at
+// the high operating point).
+const (
+	RefCoreFreq vf.Hz = 2.6 * vf.GHz
+	RefGfxFreq  vf.Hz = 0.9 * vf.GHz
+)
+
+// Class labels a workload with its evaluation category.
+type Class int
+
+// Workload classes, matching the paper's three evaluation sections and
+// the Fig. 6 panels.
+const (
+	CPUSingleThread Class = iota
+	CPUMultiThread
+	Graphics
+	Battery
+	Micro
+)
+
+func (c Class) String() string {
+	switch c {
+	case CPUSingleThread:
+		return "cpu-st"
+	case CPUMultiThread:
+		return "cpu-mt"
+	case Graphics:
+		return "graphics"
+	case Battery:
+		return "battery"
+	case Micro:
+		return "micro"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Phase is one execution phase of a workload.
+type Phase struct {
+	Duration sim.Time
+
+	// CPI-stack fractions at the reference conditions. They must be
+	// non-negative and sum to at most 1; the remainder is time bound by
+	// neither compute nor the memory/IO subsystems (fixed-latency
+	// uncore events, dependency stalls).
+	CoreFrac   float64 // bound by CPU core throughput
+	GfxFrac    float64 // bound by graphics engine throughput
+	MemLatFrac float64 // bound by main-memory latency
+	MemBWFrac  float64 // bound by main-memory bandwidth
+	IOFrac     float64 // bound by IO subsystem
+
+	// Demands at reference progress (scale with actual progress rate).
+	MemBW float64 // bytes/s of main-memory traffic
+	IOBW  float64 // bytes/s of IO traffic
+
+	// Execution shape.
+	ActiveCores  int     // CPU cores busy during C0
+	CoreActivity float64 // core switching activity in [0,1]
+	GfxActivity  float64 // graphics switching activity in [0,1]
+
+	// Package C-state residency during the phase (battery workloads
+	// idle most of the time; throughput workloads are all-C0).
+	Residency compute.Residency
+}
+
+// OtherFrac returns the CPI fraction bound by none of the modeled
+// resources.
+func (p Phase) OtherFrac() float64 {
+	o := 1 - p.CoreFrac - p.GfxFrac - p.MemLatFrac - p.MemBWFrac - p.IOFrac
+	if o < 0 {
+		return 0
+	}
+	return o
+}
+
+// Validate checks the phase for model consistency.
+func (p Phase) Validate() error {
+	if p.Duration <= 0 {
+		return fmt.Errorf("workload: non-positive phase duration")
+	}
+	fr := []float64{p.CoreFrac, p.GfxFrac, p.MemLatFrac, p.MemBWFrac, p.IOFrac}
+	sum := 0.0
+	for _, f := range fr {
+		if f < 0 {
+			return fmt.Errorf("workload: negative CPI fraction")
+		}
+		sum += f
+	}
+	if sum > 1.0001 {
+		return fmt.Errorf("workload: CPI fractions sum to %.4f > 1", sum)
+	}
+	if p.MemBW < 0 || p.IOBW < 0 {
+		return fmt.Errorf("workload: negative bandwidth demand")
+	}
+	if p.ActiveCores < 0 {
+		return fmt.Errorf("workload: negative core count")
+	}
+	if p.CoreActivity < 0 || p.CoreActivity > 1 || p.GfxActivity < 0 || p.GfxActivity > 1 {
+		return fmt.Errorf("workload: activity outside [0,1]")
+	}
+	if err := p.Residency.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MemoryBound returns the combined memory-bound fraction.
+func (p Phase) MemoryBound() float64 { return p.MemLatFrac + p.MemBWFrac }
+
+// Workload is a named sequence of phases.
+type Workload struct {
+	Name   string
+	Class  Class
+	Phases []Phase
+}
+
+// Validate checks the workload and all phases.
+func (w Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("workload: empty name")
+	}
+	if len(w.Phases) == 0 {
+		return fmt.Errorf("workload %s: no phases", w.Name)
+	}
+	for i, p := range w.Phases {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("workload %s phase %d: %w", w.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// TotalDuration returns the sum of phase durations (one iteration).
+func (w Workload) TotalDuration() sim.Time {
+	var d sim.Time
+	for _, p := range w.Phases {
+		d += p.Duration
+	}
+	return d
+}
+
+// PhaseAt returns the phase active at simulated time t. Workloads loop:
+// time wraps modulo the total duration, matching how benchmarks are
+// run repeatedly during power measurements.
+func (w Workload) PhaseAt(t sim.Time) Phase {
+	total := w.TotalDuration()
+	if total <= 0 {
+		return w.Phases[0]
+	}
+	t %= total
+	for _, p := range w.Phases {
+		if t < p.Duration {
+			return p
+		}
+		t -= p.Duration
+	}
+	return w.Phases[len(w.Phases)-1]
+}
+
+// AvgMemBW returns the duration-weighted mean memory bandwidth demand.
+func (w Workload) AvgMemBW() float64 {
+	var sum float64
+	var tot sim.Time
+	for _, p := range w.Phases {
+		sum += p.MemBW * p.Duration.Seconds()
+		tot += p.Duration
+	}
+	if tot == 0 {
+		return 0
+	}
+	return sum / tot.Seconds()
+}
+
+// AvgCoreFrac returns the duration-weighted mean core-bound fraction —
+// the first-order "performance scalability" of the workload with CPU
+// frequency (§7.1, footnote 8).
+func (w Workload) AvgCoreFrac() float64 {
+	var sum float64
+	var tot sim.Time
+	for _, p := range w.Phases {
+		sum += p.CoreFrac * p.Duration.Seconds()
+		tot += p.Duration
+	}
+	if tot == 0 {
+		return 0
+	}
+	return sum / tot.Seconds()
+}
+
+// BWOverTime samples the reference memory-bandwidth demand at the given
+// interval over one loop iteration — the data behind Figs. 2(c)/3(a).
+func (w Workload) BWOverTime(step sim.Time) []float64 {
+	var out []float64
+	total := w.TotalDuration()
+	for t := sim.Time(0); t < total; t += step {
+		out = append(out, w.PhaseAt(t).MemBW)
+	}
+	return out
+}
+
+// uniform builds a single-phase, fully-active workload; a helper for
+// the suite constructors.
+func uniform(name string, class Class, d sim.Time, p Phase) Workload {
+	p.Duration = d
+	if p.Residency == (compute.Residency{}) {
+		p.Residency = compute.FullyActive()
+	}
+	return Workload{Name: name, Class: class, Phases: []Phase{p}}
+}
+
+// GB is a bandwidth helper: n gigabytes/second in bytes/second.
+func GB(n float64) float64 { return n * 1e9 }
+
+// fullActive is shorthand for the all-C0 residency.
+func fullActive() compute.Residency { return compute.FullyActive() }

@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sysscale/internal/sim"
+)
+
+func TestAllSuitesValidate(t *testing.T) {
+	var all []Workload
+	all = append(all, SPECSuite()...)
+	all = append(all, SPECSuiteMT()...)
+	all = append(all, GraphicsSuite()...)
+	all = append(all, BatterySuite()...)
+	all = append(all, Stream())
+	for _, w := range all {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestSPECSuiteComplete(t *testing.T) {
+	names := SPECNames()
+	if len(names) != 29 {
+		t.Fatalf("SPEC CPU2006 has 29 benchmarks, table has %d", len(names))
+	}
+	for _, n := range names {
+		w, err := SPEC(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Class != CPUSingleThread {
+			t.Fatalf("%s: wrong class %v", n, w.Class)
+		}
+	}
+	if _, err := SPEC("999.nonexistent"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestSPECCharacterization(t *testing.T) {
+	// The paper's named behaviours must hold in the table.
+	get := func(n string) Workload {
+		w, err := SPEC(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	// gamess/namd/povray: highly scalable (core bound).
+	for _, n := range []string{"416.gamess", "444.namd", "453.povray"} {
+		if f := get(n).AvgCoreFrac(); f < 0.9 {
+			t.Errorf("%s core fraction %v, want >0.9", n, f)
+		}
+	}
+	// bwaves/milc/lbm: heavily memory bound.
+	for _, n := range []string{"410.bwaves", "433.milc", "470.lbm"} {
+		w := get(n)
+		if f := w.AvgCoreFrac(); f > 0.3 {
+			t.Errorf("%s core fraction %v, want <0.3", n, f)
+		}
+	}
+	// cactusADM: latency dominated (Fig. 2b).
+	cactus := get("436.cactusADM")
+	if cactus.Phases[0].MemLatFrac <= cactus.Phases[0].MemBWFrac {
+		t.Error("cactusADM must be latency dominated")
+	}
+	// astar: phased between ~1GB/s and much higher (Fig. 3a).
+	astar := get("473.astar")
+	if len(astar.Phases) < 2 {
+		t.Fatal("astar must be phased")
+	}
+	lo, hi := astar.Phases[0].MemBW, astar.Phases[1].MemBW
+	if hi < 5*lo {
+		t.Errorf("astar phases not contrasting: %v vs %v", lo, hi)
+	}
+}
+
+func TestSPECMTScalesDemand(t *testing.T) {
+	st := SPECSuite()
+	mt := SPECSuiteMT()
+	for i := range st {
+		if mt[i].Class != CPUMultiThread {
+			t.Fatal("MT class wrong")
+		}
+		if mt[i].AvgMemBW() <= st[i].AvgMemBW() {
+			t.Fatalf("%s: MT demand not above ST", mt[i].Name)
+		}
+		if mt[i].Phases[0].ActiveCores != 2 {
+			t.Fatal("MT must use both cores")
+		}
+	}
+}
+
+func TestPhaseAtLoops(t *testing.T) {
+	w, _ := SPEC("473.astar") // 3s calm + 1.5s spike
+	total := w.TotalDuration()
+	if total != 4500*sim.Millisecond {
+		t.Fatalf("astar loop = %v", total)
+	}
+	if w.PhaseAt(0).MemBW != w.Phases[0].MemBW {
+		t.Fatal("PhaseAt(0) wrong")
+	}
+	spikeT := 3100 * sim.Millisecond
+	if w.PhaseAt(spikeT).MemBW != w.Phases[1].MemBW {
+		t.Fatal("PhaseAt(spike) wrong")
+	}
+	// Wraps modulo total.
+	if w.PhaseAt(total+spikeT).MemBW != w.Phases[1].MemBW {
+		t.Fatal("PhaseAt does not wrap")
+	}
+}
+
+func TestBWOverTime(t *testing.T) {
+	w, _ := SPEC("470.lbm")
+	series := w.BWOverTime(500 * sim.Millisecond)
+	if len(series) != 6 { // 3s phase / 0.5s
+		t.Fatalf("series length = %d", len(series))
+	}
+	for _, s := range series {
+		if s != w.Phases[0].MemBW {
+			t.Fatal("constant workload series not constant")
+		}
+	}
+}
+
+func TestOtherFrac(t *testing.T) {
+	p := Phase{CoreFrac: 0.5, MemLatFrac: 0.2, MemBWFrac: 0.1}
+	if math.Abs(p.OtherFrac()-0.2) > 1e-12 {
+		t.Fatalf("OtherFrac = %v", p.OtherFrac())
+	}
+	if math.Abs(p.MemoryBound()-0.3) > 1e-12 {
+		t.Fatalf("MemoryBound = %v", p.MemoryBound())
+	}
+	over := Phase{CoreFrac: 1.2}
+	if over.OtherFrac() != 0 {
+		t.Fatal("OtherFrac must clamp at zero")
+	}
+}
+
+func TestPhaseValidation(t *testing.T) {
+	base := Phase{Duration: sim.Second, CoreFrac: 0.5, ActiveCores: 1, Residency: fullActive()}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Phase{
+		{Duration: 0, CoreFrac: 0.5},
+		{Duration: sim.Second, CoreFrac: -0.1},
+		{Duration: sim.Second, CoreFrac: 0.7, MemLatFrac: 0.5},
+		{Duration: sim.Second, MemBW: -1},
+		{Duration: sim.Second, CoreActivity: 1.5},
+		{Duration: sim.Second, ActiveCores: -1},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid phase accepted", i)
+		}
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	if err := (Workload{}).Validate(); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	if err := (Workload{Name: "x"}).Validate(); err == nil {
+		t.Fatal("phaseless workload accepted")
+	}
+}
+
+func TestSyntheticAlwaysValid(t *testing.T) {
+	// Property: every generated workload passes validation, for any
+	// seed and class.
+	err := quick.Check(func(seed uint64, classRaw uint8) bool {
+		class := Class(int(classRaw) % 3)
+		ws := Synthetic(SyntheticSpec{Class: class, Count: 10, Seed: seed})
+		if len(ws) != 10 {
+			return false
+		}
+		for _, w := range ws {
+			if w.Validate() != nil {
+				return false
+			}
+			if w.Class != class {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(SyntheticSpec{Class: CPUSingleThread, Count: 5, Seed: 9})
+	b := Synthetic(SyntheticSpec{Class: CPUSingleThread, Count: 5, Seed: 9})
+	for i := range a {
+		if a[i].Phases[0] != b[i].Phases[0] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+}
+
+func TestStreamSaturates(t *testing.T) {
+	s := Stream()
+	if s.Phases[0].MemBW < 25.6e9 {
+		t.Fatal("STREAM must demand beyond peak bandwidth")
+	}
+	if s.Phases[0].MemBWFrac < 0.8 {
+		t.Fatal("STREAM must be bandwidth bound")
+	}
+}
+
+func TestBatteryResidencies(t *testing.T) {
+	// §7.3: active residency between 10% and 40%; video playback at
+	// C0 10%, C8-dominated.
+	for _, w := range BatterySuite() {
+		for _, ph := range w.Phases {
+			c0 := ph.Residency.C0
+			if c0 < 0.09 || c0 > 0.41 {
+				t.Errorf("%s: C0 residency %v outside 10-40%%", w.Name, c0)
+			}
+		}
+	}
+	vp := VideoPlayback()
+	if vp.Phases[0].Residency.C8 < 0.8 {
+		t.Fatal("video playback must be C8 dominated")
+	}
+}
+
+func TestGraphicsScenesVary(t *testing.T) {
+	for _, w := range GraphicsSuite() {
+		if len(w.Phases) < 3 {
+			t.Fatalf("%s: too few scenes", w.Name)
+		}
+		min, max := math.Inf(1), 0.0
+		for _, ph := range w.Phases {
+			if ph.GfxFrac < 0.4 {
+				t.Errorf("%s: scene not graphics bound", w.Name)
+			}
+			min = math.Min(min, ph.MemBW)
+			max = math.Max(max, ph.MemBW)
+		}
+		if max < 1.5*min {
+			t.Errorf("%s: scene bandwidth does not vary (Fig. 3a)", w.Name)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if CPUSingleThread.String() != "cpu-st" || Graphics.String() != "graphics" || Battery.String() != "battery" {
+		t.Fatal("class strings wrong")
+	}
+}
+
+func TestProductivitySuite(t *testing.T) {
+	suite := ProductivitySuite()
+	if len(suite) != 3 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	for _, w := range suite {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if w.Class != Battery {
+			t.Errorf("%s: productivity workloads are interactive (battery class)", w.Name)
+		}
+		for _, ph := range w.Phases {
+			if ph.ActiveCores != 2 {
+				t.Errorf("%s: office workloads use both cores", w.Name)
+			}
+			if ph.Residency.C0 <= 0 || ph.Residency.C0 > 0.5 {
+				t.Errorf("%s: implausible active residency %v", w.Name, ph.Residency.C0)
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package sysscale is a full-system reproduction of "SysScale:
+// Exploiting Multi-domain Dynamic Voltage and Frequency Scaling for
+// Energy Efficient Mobile Processors" (Haj-Yahya et al., ISCA 2020).
+//
+// The package exposes the public surface of the library: the simulated
+// Skylake-class mobile SoC (compute, IO and memory domains with the
+// voltage-regulator topology of the paper's Fig. 1), the SysScale
+// governor and the baselines it is compared against (MemScale,
+// CoScale and their -Redist projections), the evaluation workloads
+// (SPEC CPU2006 profiles, 3DMark, battery-life set), and the
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Quick start:
+//
+//	w, _ := sysscale.SPEC("416.gamess")
+//	cfg := sysscale.DefaultConfig()
+//	cfg.Workload = w
+//	cfg.Policy = sysscale.NewSysScale()
+//	res, err := sysscale.Run(cfg)
+//
+// Compare against the worst-case-provisioned baseline by running the
+// same configuration with sysscale.NewBaseline() and using
+// PerfImprovement / PowerReduction on the two results.
+package sysscale
+
+import (
+	"sysscale/internal/core"
+	"sysscale/internal/dram"
+	"sysscale/internal/ioengine"
+	"sysscale/internal/policy"
+	"sysscale/internal/power"
+	"sysscale/internal/sim"
+	"sysscale/internal/soc"
+	"sysscale/internal/vf"
+	"sysscale/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Config describes one simulation run: platform, workload, policy.
+	Config = soc.Config
+	// Result is a run's outcome: performance, power, energy, EDP and
+	// DVFS telemetry.
+	Result = soc.Result
+	// Policy is a power-management governor.
+	Policy = soc.Policy
+	// PolicyContext is what a governor observes each interval.
+	PolicyContext = soc.PolicyContext
+	// PolicyDecision is a governor's output.
+	PolicyDecision = soc.PolicyDecision
+)
+
+// Workload types.
+type (
+	// Workload is a named sequence of execution phases.
+	Workload = workload.Workload
+	// Phase is one phase's CPI-stack decomposition and demands.
+	Phase = workload.Phase
+	// WorkloadClass labels evaluation categories.
+	WorkloadClass = workload.Class
+)
+
+// Platform types.
+type (
+	// OperatingPoint is one joint IO+memory DVFS point.
+	OperatingPoint = vf.OperatingPoint
+	// Hz is a frequency.
+	Hz = vf.Hz
+	// Watt is a power.
+	Watt = power.Watt
+	// Time is simulated time in nanoseconds.
+	Time = sim.Time
+	// Thresholds are SysScale's calibrated decision thresholds.
+	Thresholds = core.Thresholds
+	// DisplayCSR is the IO peripheral configuration register file.
+	DisplayCSR = ioengine.CSR
+)
+
+// Frequency and time units.
+const (
+	GHz = vf.GHz
+	MHz = vf.MHz
+
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// DRAM technologies.
+const (
+	LPDDR3 = dram.LPDDR3
+	DDR4   = dram.DDR4
+)
+
+// Workload classes.
+const (
+	CPUSingleThread = workload.CPUSingleThread
+	CPUMultiThread  = workload.CPUMultiThread
+	Graphics        = workload.Graphics
+	Battery         = workload.Battery
+)
+
+// DefaultConfig returns the paper's Table 2 platform: 4.5W TDP,
+// 2-core Skylake-class SoC, dual-channel LPDDR3-1600, one HD panel,
+// 30ms evaluation interval.
+func DefaultConfig() Config { return soc.DefaultConfig() }
+
+// Run simulates one workload under one policy.
+func Run(cfg Config) (Result, error) { return soc.Run(cfg) }
+
+// MustRun is Run that panics on error.
+func MustRun(cfg Config) Result { return soc.MustRun(cfg) }
+
+// NewBaseline returns the evaluation baseline: IO and memory domains
+// pinned at the highest operating point with worst-case reservations.
+func NewBaseline() Policy { return policy.NewBaseline() }
+
+// NewSysScale returns the SysScale governor with the default
+// calibration.
+func NewSysScale() Policy { return policy.NewSysScaleDefault() }
+
+// NewSysScaleWithThresholds returns SysScale with custom thresholds.
+func NewSysScaleWithThresholds(t Thresholds) Policy { return policy.NewSysScale(t) }
+
+// DefaultThresholds returns the baked default calibration.
+func DefaultThresholds() Thresholds { return policy.DefaultThresholds() }
+
+// NewMemScale returns the MemScale [16] reimplementation; redistribute
+// selects the -Redist variant of §6.
+func NewMemScale(redistribute bool) Policy {
+	if redistribute {
+		return policy.NewMemScaleRedist()
+	}
+	return policy.NewMemScale()
+}
+
+// NewCoScale returns the CoScale [14] reimplementation; redistribute
+// selects the -Redist variant of §6.
+func NewCoScale(redistribute bool) Policy {
+	if redistribute {
+		return policy.NewCoScaleRedist()
+	}
+	return policy.NewCoScale()
+}
+
+// NewStaticPoint pins the IO+memory domains at ladder index (0 = high);
+// redistribute resizes the compute budget to match.
+func NewStaticPoint(index int, redistribute bool) Policy {
+	return policy.NewStaticPoint(index, redistribute)
+}
+
+// SPEC returns one SPEC CPU2006 workload by name (e.g. "470.lbm").
+func SPEC(name string) (Workload, error) { return workload.SPEC(name) }
+
+// SPECNames lists the modeled SPEC CPU2006 benchmarks.
+func SPECNames() []string { return workload.SPECNames() }
+
+// SPECSuite returns all 29 single-threaded SPEC CPU2006 workloads.
+func SPECSuite() []Workload { return workload.SPECSuite() }
+
+// SPECSuiteMT returns the multi-threaded (rate) variants.
+func SPECSuiteMT() []Workload { return workload.SPECSuiteMT() }
+
+// GraphicsSuite returns the three 3DMark workloads.
+func GraphicsSuite() []Workload { return workload.GraphicsSuite() }
+
+// BatterySuite returns the four battery-life workloads.
+func BatterySuite() []Workload { return workload.BatterySuite() }
+
+// Stream returns the peak-bandwidth microbenchmark of §3/Fig. 4.
+func Stream() Workload { return workload.Stream() }
+
+// HighPoint and LowPoint return the paper's two shipped operating
+// points (Table 1).
+func HighPoint() OperatingPoint { return vf.HighPoint() }
+func LowPoint() OperatingPoint  { return vf.LowPoint() }
+
+// TwoPointLadder returns the shipped two-point ladder.
+func TwoPointLadder() []OperatingPoint { return vf.TwoPointLadder() }
+
+// LadderLPDDR3 returns the three-point LPDDR3 ladder (§7.4).
+func LadderLPDDR3() []OperatingPoint { return vf.LadderLPDDR3() }
+
+// PerfImprovement returns r's performance improvement over base.
+func PerfImprovement(r, base Result) float64 { return soc.PerfImprovement(r, base) }
+
+// PowerReduction returns r's average-power reduction versus base.
+func PowerReduction(r, base Result) float64 { return soc.PowerReduction(r, base) }
+
+// EDPImprovement returns r's energy-delay-product improvement versus
+// base (positive = more efficient).
+func EDPImprovement(r, base Result) float64 { return soc.EDPImprovement(r, base) }

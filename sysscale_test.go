@@ -1,0 +1,141 @@
+package sysscale_test
+
+import (
+	"testing"
+
+	"sysscale"
+)
+
+// The public-API tests exercise the facade exactly as a downstream user
+// would: build a config, run policies, compare results.
+
+func TestQuickstartFlow(t *testing.T) {
+	w, err := sysscale.SPEC("416.gamess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sysscale.DefaultConfig()
+	cfg.Workload = w
+	cfg.Duration = sysscale.Second
+
+	cfg.Policy = sysscale.NewBaseline()
+	base, err := sysscale.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Policy = sysscale.NewSysScale()
+	sys, err := sysscale.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain := sysscale.PerfImprovement(sys, base); gain < 0.10 {
+		t.Fatalf("SysScale gain on gamess = %.3f, want >0.10", gain)
+	}
+}
+
+func TestAllPoliciesRun(t *testing.T) {
+	w, err := sysscale.SPEC("403.gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []sysscale.Policy{
+		sysscale.NewBaseline(),
+		sysscale.NewSysScale(),
+		sysscale.NewSysScaleWithThresholds(sysscale.DefaultThresholds()),
+		sysscale.NewMemScale(false),
+		sysscale.NewMemScale(true),
+		sysscale.NewCoScale(false),
+		sysscale.NewCoScale(true),
+		sysscale.NewStaticPoint(1, true),
+	}
+	for _, p := range policies {
+		cfg := sysscale.DefaultConfig()
+		cfg.Workload = w
+		cfg.Policy = p
+		cfg.Duration = 300 * sysscale.Millisecond
+		res, err := sysscale.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.Score <= 0 {
+			t.Fatalf("%s: zero score", p.Name())
+		}
+	}
+}
+
+func TestSuitesExposed(t *testing.T) {
+	if len(sysscale.SPECSuite()) != 29 || len(sysscale.SPECNames()) != 29 {
+		t.Fatal("SPEC suite incomplete")
+	}
+	if len(sysscale.SPECSuiteMT()) != 29 {
+		t.Fatal("SPEC MT suite incomplete")
+	}
+	if len(sysscale.GraphicsSuite()) != 3 {
+		t.Fatal("graphics suite incomplete")
+	}
+	if len(sysscale.BatterySuite()) != 4 {
+		t.Fatal("battery suite incomplete")
+	}
+	if sysscale.Stream().Name == "" {
+		t.Fatal("stream workload missing")
+	}
+}
+
+func TestOperatingPointsExposed(t *testing.T) {
+	if sysscale.HighPoint().DDR != 1.6*sysscale.GHz {
+		t.Fatal("high point wrong")
+	}
+	if sysscale.LowPoint().DDR != 1.06*sysscale.GHz {
+		t.Fatal("low point wrong")
+	}
+	if len(sysscale.TwoPointLadder()) != 2 || len(sysscale.LadderLPDDR3()) != 3 {
+		t.Fatal("ladders wrong")
+	}
+}
+
+func TestBatteryThroughPublicAPI(t *testing.T) {
+	cfg := sysscale.DefaultConfig()
+	cfg.Workload = sysscale.BatterySuite()[3] // video playback
+	cfg.Duration = sysscale.Second
+	cfg.Policy = sysscale.NewBaseline()
+	base := sysscale.MustRun(cfg)
+	cfg.Policy = sysscale.NewSysScale()
+	sys := sysscale.MustRun(cfg)
+	if !sys.PerfMet {
+		t.Fatal("fixed demand missed")
+	}
+	if sysscale.PowerReduction(sys, base) < 0.05 {
+		t.Fatal("battery saving too small through the public API")
+	}
+}
+
+// TestCustomPolicy verifies the Policy interface is implementable from
+// outside the module internals.
+type alwaysLow struct{}
+
+func (alwaysLow) Name() string { return "always-low" }
+func (alwaysLow) Reset()       {}
+func (alwaysLow) Decide(ctx sysscale.PolicyContext) sysscale.PolicyDecision {
+	target := ctx.Ladder[len(ctx.Ladder)-1]
+	return sysscale.PolicyDecision{
+		Target:       target,
+		OptimizedMRC: true,
+		IOBudget:     ctx.WorstIO(target),
+		MemBudget:    ctx.WorstMem(target),
+	}
+}
+
+func TestCustomPolicy(t *testing.T) {
+	w, _ := sysscale.SPEC("416.gamess")
+	cfg := sysscale.DefaultConfig()
+	cfg.Workload = w
+	cfg.Policy = alwaysLow{}
+	cfg.Duration = 300 * sysscale.Millisecond
+	res, err := sysscale.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PointResidency[1] < 0.9 {
+		t.Fatalf("custom policy not honored: low residency %.2f", res.PointResidency[1])
+	}
+}
