@@ -13,8 +13,10 @@ package sysscale_test
 // EXPERIMENTS.md for the per-figure comparison.
 
 import (
+	"runtime"
 	"testing"
 
+	"sysscale"
 	"sysscale/internal/experiments"
 	"sysscale/internal/sim"
 )
@@ -217,6 +219,50 @@ func BenchmarkAblations(b *testing.B) {
 	b.ReportMetric(noMRC, "no_mrc_gain_pct")
 	b.ReportMetric(noRedist, "no_redist_gain_pct")
 }
+
+// engineSweepConfigs builds a Fig. 7-style suite sweep: every SPEC
+// CPU2006 workload under baseline and SysScale.
+func engineSweepConfigs(b *testing.B) []sysscale.Config {
+	b.Helper()
+	var cfgs []sysscale.Config
+	for _, w := range sysscale.SPECSuite() {
+		for _, p := range []sysscale.Policy{sysscale.NewBaseline(), sysscale.NewSysScale()} {
+			cfg := sysscale.DefaultConfig()
+			cfg.Workload = w
+			cfg.Policy = p
+			cfg.Duration = 300 * sysscale.Millisecond
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+// benchEngineSweep runs the sweep with the given worker bound, caching
+// disabled so every iteration measures real simulation work.
+func benchEngineSweep(b *testing.B, workers int) {
+	cfgs := engineSweepConfigs(b)
+	jobs := make([]sysscale.Job, len(cfgs))
+	for i, c := range cfgs {
+		jobs[i] = sysscale.Job{Config: c}
+	}
+	eng := sysscale.NewEngine(sysscale.WithParallelism(workers), sysscale.WithCache(false))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunBatch(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "runs/s")
+}
+
+// BenchmarkEngineSequential is the single-worker reference for the
+// suite sweep.
+func BenchmarkEngineSequential(b *testing.B) { benchEngineSweep(b, 1) }
+
+// BenchmarkEngineParallel runs the same sweep with one worker per
+// core; the runs/s ratio to BenchmarkEngineSequential is the engine's
+// speedup (≈ core count on a multi-core machine).
+func BenchmarkEngineParallel(b *testing.B) { benchEngineSweep(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkSimulatorTick measures raw simulator throughput: simulated
 // milliseconds per wall-clock second on a single workload/policy pair.

@@ -2,11 +2,13 @@
 //
 // Usage:
 //
-//	experiments [-run name] [-fig6n N]
+//	experiments [-run name] [-fig6n N] [-parallel N]
 //
 // With no flags it runs the full set in paper order. -run selects one
 // experiment by name (table1, table2, fig2, fig3, fig4, fig5, fig6,
 // fig7, fig8, fig9, fig10, sensitivity, cost, ablations, calibrate).
+// -parallel bounds the simulation worker pool (0, the default, uses
+// GOMAXPROCS; 1 forces sequential execution).
 package main
 
 import (
@@ -21,7 +23,11 @@ import (
 func main() {
 	runName := flag.String("run", "", "run a single experiment by name")
 	fig6n := flag.Int("fig6n", 0, "workloads per Fig. 6 panel (0 = paper scale, 180)")
+	parallel := flag.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+	if *parallel != 0 {
+		experiments.SetParallelism(*parallel)
+	}
 
 	type exp struct {
 		name string

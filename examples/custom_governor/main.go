@@ -22,6 +22,10 @@ type utilGovernor struct {
 
 func (g *utilGovernor) Name() string { return "naive-util" }
 func (g *utilGovernor) Reset()       {}
+func (g *utilGovernor) Clone() sysscale.Policy {
+	c := *g
+	return &c
+}
 
 func (g *utilGovernor) Decide(ctx sysscale.PolicyContext) sysscale.PolicyDecision {
 	top := ctx.Ladder[0]

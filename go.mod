@@ -1,0 +1,3 @@
+module sysscale
+
+go 1.24

@@ -1,0 +1,270 @@
+// Package engine is the concurrent simulation run service: it executes
+// batches of independent soc.Run jobs on a bounded worker pool and
+// memoizes results behind a canonical config fingerprint.
+//
+// Every simulation in this repository is a pure function of its
+// soc.Config, so batches parallelize trivially — except that policies
+// are stateful (soc.Run resets and then mutates them), which makes
+// sharing one Policy value across goroutines a data race. The engine
+// therefore clones the configured policy once per job via
+// soc.Policy.Clone and leaves the caller's instance untouched.
+//
+// Results come back in input order regardless of worker count, and a
+// batch that contains the same configuration several times simulates it
+// once. The cache persists across batches, so an experiment harness
+// that re-runs the same baselines for several figures pays for them
+// once.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sysscale/internal/soc"
+)
+
+// Job is one unit of batch work: a fully-specified simulation run.
+type Job struct {
+	Config soc.Config
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithParallelism bounds the number of simulations in flight. n <= 0
+// selects GOMAXPROCS, the default.
+func WithParallelism(n int) Option {
+	return func(e *Engine) { e.parallelism = n }
+}
+
+// WithCache enables or disables result memoization and in-batch
+// coalescing (enabled by default). Disable it to measure raw
+// simulation throughput in benchmarks.
+func WithCache(enabled bool) Option {
+	return func(e *Engine) { e.cacheOn = enabled }
+}
+
+// Uncacheable is an optional interface a policy implements to opt out
+// of memoization and coalescing. Policies whose Decide has observable
+// side effects beyond the returned decision (telemetry recorders such
+// as the experiment harness's step watcher) must implement it —
+// serving their run from cache would silently skip the observation.
+// Wrapper policies should expose `Unwrap() soc.Policy` so the engine
+// can see through them to a wrapped uncacheable policy.
+type Uncacheable interface {
+	Uncacheable()
+}
+
+// Stats is a snapshot of the engine's cache behaviour.
+type Stats struct {
+	// Entries is the number of memoized results.
+	Entries int
+	// Hits counts jobs served from cache (including jobs coalesced
+	// onto an identical in-batch sibling).
+	Hits int
+	// Misses counts jobs that executed a simulation.
+	Misses int
+}
+
+// Engine executes batches of independent simulations on a bounded
+// worker pool with a memoizing result cache. The zero value is not
+// usable; construct with New. An Engine is safe for concurrent use.
+type Engine struct {
+	parallelism int
+	cacheOn     bool
+
+	mu    sync.Mutex
+	cache map[string]soc.Result
+	stats Stats
+}
+
+// New returns an engine with the given options applied.
+func New(opts ...Option) *Engine {
+	e := &Engine{cacheOn: true, cache: make(map[string]soc.Result)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Parallelism returns the effective worker bound.
+func (e *Engine) Parallelism() int {
+	if e.parallelism > 0 {
+		return e.parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// CacheStats returns a snapshot of the cache counters.
+func (e *Engine) CacheStats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.Entries = len(e.cache)
+	return s
+}
+
+// ClearCache drops every memoized result (the hit/miss counters are
+// kept). Long-lived processes sweeping unbounded config spaces call
+// this between sweeps to bound memory.
+func (e *Engine) ClearCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = make(map[string]soc.Result)
+}
+
+// Run simulates one configuration through the engine (memoized). It is
+// the engine-backed replacement for soc.Run and can be passed anywhere
+// a soc.RunFunc is expected.
+func (e *Engine) Run(cfg soc.Config) (soc.Result, error) {
+	rs, err := e.RunBatch([]Job{{Config: cfg}})
+	if err != nil {
+		return soc.Result{}, err
+	}
+	return rs[0], nil
+}
+
+// task is one deduplicated simulation: a cache key (empty when the job
+// is uncacheable) plus every input index awaiting its result.
+type task struct {
+	key     string
+	indices []int
+}
+
+// RunBatch executes the jobs with bounded parallelism and returns their
+// results in input order. The batch is deterministic: the returned
+// slice is identical to running each job sequentially through soc.Run,
+// whatever the worker count. On the first failure the engine stops
+// feeding work (in-flight simulations finish) and returns the error of
+// the lowest-indexed failed job; no partial results are returned.
+func (e *Engine) RunBatch(jobs []Job) ([]soc.Result, error) {
+	results := make([]soc.Result, len(jobs))
+
+	// Resolve cache hits and coalesce in-batch duplicates so each
+	// unique configuration simulates once.
+	tasks := make([]*task, 0, len(jobs))
+	byKey := make(map[string]*task)
+	for i, j := range jobs {
+		if j.Config.Policy == nil {
+			return nil, fmt.Errorf("engine: job %d has nil policy", i)
+		}
+		if !e.cacheOn {
+			tasks = append(tasks, &task{indices: []int{i}})
+			continue
+		}
+		key, cacheable := fingerprint(j.Config)
+		if !cacheable {
+			tasks = append(tasks, &task{indices: []int{i}})
+			continue
+		}
+		e.mu.Lock()
+		r, hit := e.cache[key]
+		if hit {
+			e.stats.Hits++
+		}
+		e.mu.Unlock()
+		if hit {
+			results[i] = cloneResult(r)
+			continue
+		}
+		if t, ok := byKey[key]; ok {
+			t.indices = append(t.indices, i)
+			e.mu.Lock()
+			e.stats.Hits++
+			e.mu.Unlock()
+			continue
+		}
+		t := &task{key: key, indices: []int{i}}
+		byKey[key] = t
+		tasks = append(tasks, t)
+	}
+	if len(tasks) == 0 {
+		return results, nil
+	}
+
+	workers := e.Parallelism()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		work     = make(chan *task)
+		stop     = make(chan struct{})
+		stopOnce sync.Once
+		errMu    sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	fail := func(idx int, err error) {
+		errMu.Lock()
+		if firstErr == nil || idx < firstIdx {
+			firstErr, firstIdx = err, idx
+		}
+		errMu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range work {
+				e.execute(jobs, t, results, fail)
+			}
+		}()
+	}
+	// Feed in input order; stop on the first failure (fail fast).
+feed:
+	for _, t := range tasks {
+		select {
+		case work <- t:
+		case <-stop:
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// execute runs one task and distributes its result to every awaiting
+// input index.
+func (e *Engine) execute(jobs []Job, t *task, results []soc.Result, fail func(int, error)) {
+	idx := t.indices[0]
+	cfg := jobs[idx].Config
+	cfg.Policy = cfg.Policy.Clone()
+	res, err := soc.Run(cfg)
+	if err != nil {
+		fail(idx, fmt.Errorf("engine: job %d (%s under %s): %w",
+			idx, cfg.Workload.Name, cfg.Policy.Name(), err))
+		return
+	}
+	e.mu.Lock()
+	e.stats.Misses++
+	if t.key != "" {
+		e.cache[t.key] = cloneResult(res)
+	}
+	e.mu.Unlock()
+	for _, i := range t.indices {
+		results[i] = cloneResult(res)
+	}
+}
+
+// cloneResult deep-copies the result's slice fields so cached entries
+// and coalesced siblings never alias caller-visible memory.
+func cloneResult(r soc.Result) soc.Result {
+	c := r
+	if r.PointResidency != nil {
+		c.PointResidency = append([]float64(nil), r.PointResidency...)
+	}
+	if r.PowerTrace != nil {
+		c.PowerTrace = append([]float64(nil), r.PowerTrace...)
+	}
+	return c
+}

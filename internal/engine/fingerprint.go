@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"reflect"
+
+	"sysscale/internal/soc"
+)
+
+// fingerprint derives the canonical cache key of a configuration: a
+// hash over a deterministic deep rendering of every Config field,
+// including the concrete policy's type and configuration. Pointers are
+// dereferenced (never printed as addresses — addresses are reused by
+// the allocator and would alias distinct configs), so two configs with
+// equal contents always collide onto one key.
+//
+// cacheable is false when the config cannot be keyed soundly: the
+// policy opted out via Uncacheable, or the walk met a value whose
+// semantics a hash cannot capture (func, chan, map, unsafe pointer) or
+// exceeded the depth bound (cyclic structures). Such jobs always
+// simulate.
+func fingerprint(cfg soc.Config) (key string, cacheable bool) {
+	// Walk the wrapper chain (decorators expose Unwrap, like errors):
+	// a wrapped uncacheable policy is still uncacheable. The walk is
+	// depth-bounded like the value walk below, so a (buggy) cyclic
+	// Unwrap chain degrades to "uncacheable" instead of hanging.
+	p, depth := cfg.Policy, maxWalkDepth
+	for p != nil {
+		if _, ok := p.(Uncacheable); ok {
+			return "", false
+		}
+		u, ok := p.(interface{ Unwrap() soc.Policy })
+		if !ok {
+			break
+		}
+		if depth--; depth <= 0 {
+			return "", false
+		}
+		p = u.Unwrap()
+	}
+	h := sha256.New()
+	if !writeValue(h, reflect.ValueOf(cfg), maxWalkDepth) {
+		return "", false
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// maxWalkDepth bounds the deep walk; configs are shallow (the deepest
+// path is Config → Workload → Phases → Residency), so hitting the
+// bound means a cyclic custom policy.
+const maxWalkDepth = 24
+
+// writeValue renders v canonically into w, returning false when the
+// value cannot be rendered soundly. Unexported fields are read through
+// the kind-specific accessors, which reflect permits without
+// Interface().
+func writeValue(w io.Writer, v reflect.Value, depth int) bool {
+	if depth <= 0 {
+		return false
+	}
+	if !v.IsValid() {
+		io.WriteString(w, "<zero>")
+		return true
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		fmt.Fprintf(w, "%t", v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		fmt.Fprintf(w, "%d", v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		fmt.Fprintf(w, "%d", v.Uint())
+	case reflect.Float32, reflect.Float64:
+		// %b is exact (binary mantissa/exponent): no two distinct
+		// floats share a rendering.
+		fmt.Fprintf(w, "%b", v.Float())
+	case reflect.Complex64, reflect.Complex128:
+		c := v.Complex()
+		fmt.Fprintf(w, "%b/%b", real(c), imag(c))
+	case reflect.String:
+		fmt.Fprintf(w, "%q", v.String())
+	case reflect.Ptr:
+		if v.IsNil() {
+			io.WriteString(w, "nil")
+			return true
+		}
+		io.WriteString(w, "&")
+		return writeValue(w, v.Elem(), depth-1)
+	case reflect.Interface:
+		if v.IsNil() {
+			io.WriteString(w, "nil")
+			return true
+		}
+		// The dynamic type is part of the identity: two policies with
+		// identical fields but different types behave differently.
+		fmt.Fprintf(w, "%s(", v.Elem().Type())
+		if !writeValue(w, v.Elem(), depth-1) {
+			return false
+		}
+		io.WriteString(w, ")")
+	case reflect.Struct:
+		t := v.Type()
+		fmt.Fprintf(w, "%s{", t)
+		for i := 0; i < v.NumField(); i++ {
+			fmt.Fprintf(w, "%s:", t.Field(i).Name)
+			if !writeValue(w, v.Field(i), depth-1) {
+				return false
+			}
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, "}")
+	case reflect.Slice, reflect.Array:
+		if v.Kind() == reflect.Slice && v.IsNil() {
+			io.WriteString(w, "nil")
+			return true
+		}
+		fmt.Fprintf(w, "[%d:", v.Len())
+		for i := 0; i < v.Len(); i++ {
+			if !writeValue(w, v.Index(i), depth-1) {
+				return false
+			}
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, "]")
+	default:
+		// Map (nondeterministic iteration), Func, Chan, UnsafePointer:
+		// no sound canonical rendering.
+		return false
+	}
+	return true
+}

@@ -97,38 +97,45 @@ func Ablations() (AblationResult, error) {
 		},
 	}
 
-	for _, v := range variants {
-		var gain float64
-		for _, name := range ablationWorkloads {
-			w, err := workload.SPEC(name)
-			if err != nil {
-				return res, err
-			}
-			base, err := runPolicy(w, policy.NewBaseline(), v.mut)
-			if err != nil {
-				return res, err
-			}
-			r, err := runPolicy(w, v.mk(), v.mut)
-			if err != nil {
-				return res, err
-			}
-			gain += soc.PerfImprovement(r, base)
+	specWs := make([]workload.Workload, 0, len(ablationWorkloads))
+	for _, name := range ablationWorkloads {
+		w, err := workload.SPEC(name)
+		if err != nil {
+			return res, err
 		}
-		gain /= float64(len(ablationWorkloads))
+		specWs = append(specWs, w)
+	}
 
-		var saving float64
-		for _, w := range workload.BatterySuite() {
-			base, err := runPolicy(w, policy.NewBaseline(), v.mut)
-			if err != nil {
-				return res, err
+	// Each variant's SPEC subset and battery suite go out as batches;
+	// the baseline columns repeat across variants with identical
+	// configs, so the engine cache pays for them once.
+	for _, v := range variants {
+		mut := func(_ workload.Workload, c *soc.Config) {
+			if v.mut != nil {
+				v.mut(c)
 			}
-			r, err := runPolicy(w, v.mk(), v.mut)
-			if err != nil {
-				return res, err
-			}
-			saving += soc.PowerReduction(r, base)
 		}
-		saving /= float64(len(workload.BatterySuite()))
+		cols := []soc.Policy{policy.NewBaseline(), v.mk()}
+
+		spec, err := runMatrix(specWs, cols, mut)
+		if err != nil {
+			return res, err
+		}
+		var gain float64
+		for _, row := range spec {
+			gain += soc.PerfImprovement(row[1], row[0])
+		}
+		gain /= float64(len(spec))
+
+		battery, err := runMatrix(workload.BatterySuite(), cols, mut)
+		if err != nil {
+			return res, err
+		}
+		var saving float64
+		for _, row := range battery {
+			saving += soc.PowerReduction(row[1], row[0])
+		}
+		saving /= float64(len(battery))
 
 		res.Rows = append(res.Rows, AblationRow{
 			Name: v.name, Description: v.desc,
@@ -168,7 +175,10 @@ func Calibrate(count int, seed uint64) (CalibrationResult, error) {
 	// workload mix (footnote 6: SPEC, SYSmark, MobileMark, 3DMark).
 	ws := workload.Synthetic(workload.SyntheticSpec{Class: workload.CPUSingleThread, Count: count, Seed: seed})
 	ws = append(ws, workload.ProductivitySuite()...)
-	var runs []core.CalibrationRun
+
+	// The whole calibration population (both static points per
+	// workload) sweeps as one batch.
+	cfgs := make([]soc.Config, 0, 2*len(ws))
 	for _, w := range ws {
 		cfg := soc.DefaultConfig()
 		cfg.Workload = w
@@ -176,16 +186,17 @@ func Calibrate(count int, seed uint64) (CalibrationResult, error) {
 		cfg.FixedCoreFreq = 2.0 * 1e9
 		cfgHigh := cfg
 		cfgHigh.Policy = policy.NewStaticPoint(0, false)
-		high, err := soc.Run(cfgHigh)
-		if err != nil {
-			return CalibrationResult{}, err
-		}
 		cfgLow := cfg
 		cfgLow.Policy = policy.NewStaticPoint(1, false)
-		low, err := soc.Run(cfgLow)
-		if err != nil {
-			return CalibrationResult{}, err
-		}
+		cfgs = append(cfgs, cfgHigh, cfgLow)
+	}
+	rs, err := submit(cfgs)
+	if err != nil {
+		return CalibrationResult{}, err
+	}
+	var runs []core.CalibrationRun
+	for i := range ws {
+		high, low := rs[2*i], rs[2*i+1]
 		if high.Score <= 0 {
 			continue
 		}

@@ -8,11 +8,20 @@
 // Each experiment is a pure function returning a typed result with a
 // String() rendering; cmd/experiments and the benchmark harness are
 // thin wrappers around this package.
+//
+// All multi-workload fan-out goes through a shared internal/engine
+// instance: every figure builds its batch of configurations and
+// submits it once, so the sweeps run with bounded parallelism
+// (SetParallelism) and repeated runs — the baselines every figure
+// compares against, the §6 scalability probes — are memoized across
+// figures.
 package experiments
 
 import (
 	"fmt"
+	"sync"
 
+	"sysscale/internal/engine"
 	"sysscale/internal/policy"
 	"sysscale/internal/sim"
 	"sysscale/internal/soc"
@@ -22,6 +31,30 @@ import (
 // minRunTime keeps short workloads running long enough to cover PMU
 // intervals and phase loops.
 const minRunTime = 2 * sim.Second
+
+// shared is the engine every experiment submits to. Replacing it via
+// SetParallelism drops the memoized results.
+var (
+	engMu  sync.Mutex
+	shared = engine.New()
+)
+
+// SetParallelism rebuilds the shared experiment engine with at most n
+// simulations in flight (n <= 0 restores the GOMAXPROCS default). The
+// result cache starts empty.
+func SetParallelism(n int) {
+	engMu.Lock()
+	defer engMu.Unlock()
+	shared = engine.New(engine.WithParallelism(n))
+}
+
+// Engine returns the shared experiment engine (for cache statistics
+// and direct batch submission).
+func Engine() *engine.Engine {
+	engMu.Lock()
+	defer engMu.Unlock()
+	return shared
+}
 
 // baseConfig returns the Table 2 platform configured for a workload,
 // covering at least two full loops of its phases.
@@ -35,25 +68,91 @@ func baseConfig(w workload.Workload) soc.Config {
 	return cfg
 }
 
-// runPolicy executes one workload under one policy on the default
-// platform.
-func runPolicy(w workload.Workload, p soc.Policy, mut func(*soc.Config)) (soc.Result, error) {
+// configFor assembles the config for one workload under one policy.
+// The policy instance is not consumed: the engine clones it per job.
+func configFor(w workload.Workload, p soc.Policy, mut func(*soc.Config)) soc.Config {
 	cfg := baseConfig(w)
 	cfg.Policy = p
 	if mut != nil {
 		mut(&cfg)
 	}
-	return soc.Run(cfg)
+	return cfg
 }
 
-// pair runs baseline and SysScale on the same configuration.
-func pair(w workload.Workload, mut func(*soc.Config)) (base, sys soc.Result, err error) {
-	base, err = runPolicy(w, policy.NewBaseline(), mut)
-	if err != nil {
-		return
+// submit runs a batch of configurations through the shared engine,
+// returning results in input order.
+func submit(cfgs []soc.Config) ([]soc.Result, error) {
+	jobs := make([]engine.Job, len(cfgs))
+	for i, c := range cfgs {
+		jobs[i] = engine.Job{Config: c}
 	}
-	sys, err = runPolicy(w, policy.NewSysScaleDefault(), mut)
-	return
+	return Engine().RunBatch(jobs)
+}
+
+// runPolicy executes one workload under one policy on the default
+// platform (engine-backed and memoized).
+func runPolicy(w workload.Workload, p soc.Policy, mut func(*soc.Config)) (soc.Result, error) {
+	rs, err := submit([]soc.Config{configFor(w, p, mut)})
+	if err != nil {
+		return soc.Result{}, err
+	}
+	return rs[0], nil
+}
+
+// runMatrix batches the cross product suite × policies in one
+// submission; the returned results are indexed [workload][policy].
+// One policy instance per column is enough — the engine clones it for
+// every job.
+func runMatrix(ws []workload.Workload, ps []soc.Policy, mut func(workload.Workload, *soc.Config)) ([][]soc.Result, error) {
+	cfgs := make([]soc.Config, 0, len(ws)*len(ps))
+	for _, w := range ws {
+		for _, p := range ps {
+			cfg := baseConfig(w)
+			cfg.Policy = p
+			if mut != nil {
+				mut(w, &cfg)
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	flat, err := submit(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]soc.Result, len(ws))
+	for i := range ws {
+		out[i] = flat[i*len(ps) : (i+1)*len(ps)]
+	}
+	return out, nil
+}
+
+// pairSuite runs baseline and SysScale across a whole suite in one
+// batch; base[i] and sys[i] correspond to ws[i].
+func pairSuite(ws []workload.Workload, mut func(workload.Workload, *soc.Config)) (base, sys []soc.Result, err error) {
+	m, err := runMatrix(ws, []soc.Policy{policy.NewBaseline(), policy.NewSysScaleDefault()}, mut)
+	if err != nil {
+		return nil, nil, err
+	}
+	base = make([]soc.Result, len(ws))
+	sys = make([]soc.Result, len(ws))
+	for i := range m {
+		base[i], sys[i] = m[i][0], m[i][1]
+	}
+	return base, sys, nil
+}
+
+// prewarmProbes batches the §6 scalability probe runs of a suite so the
+// per-row ProjectedPerfGainWith calls resolve from the engine cache.
+// Rows without a usable probe (no relevant clock) are skipped.
+func prewarmProbes(cfgs []soc.Config, bases []soc.Result, gfx bool) error {
+	probes := make([]soc.Config, 0, len(cfgs))
+	for i, cfg := range cfgs {
+		if probe, ok := soc.ScalabilityProbeConfig(cfg, bases[i], gfx); ok {
+			probes = append(probes, probe)
+		}
+	}
+	_, err := submit(probes)
+	return err
 }
 
 // pct formats a fraction as a signed percentage.

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"sysscale/internal/policy"
 	"sysscale/internal/power"
 	"sysscale/internal/soc"
 	"sysscale/internal/stats"
@@ -25,17 +26,32 @@ type Fig10Result struct{ Rows []Fig10Row }
 // Fig10TDPs are the evaluated thermal design points.
 func Fig10TDPs() []power.Watt { return []power.Watt{3.5, 4.5, 7, 15} }
 
-// Fig10 sweeps the TDPs over the full SPEC suite.
+// Fig10 sweeps the TDPs over the full SPEC suite: all four TDPs of all
+// 29 benchmarks under both policies go out as a single batch (232
+// runs), the widest fan-out in the harness.
 func Fig10() (Fig10Result, error) {
 	var res Fig10Result
-	for _, tdp := range Fig10TDPs() {
-		var gains []float64
-		for _, w := range workload.SPECSuite() {
+	ws := workload.SPECSuite()
+	tdps := Fig10TDPs()
+
+	var cfgs []soc.Config
+	for _, tdp := range tdps {
+		for _, w := range ws {
 			mut := func(c *soc.Config) { c.TDP = tdp }
-			base, sys, err := pair(w, mut)
-			if err != nil {
-				return res, err
-			}
+			cfgs = append(cfgs,
+				configFor(w, policy.NewBaseline(), mut),
+				configFor(w, policy.NewSysScaleDefault(), mut),
+			)
+		}
+	}
+	rs, err := submit(cfgs)
+	if err != nil {
+		return res, err
+	}
+	for ti, tdp := range tdps {
+		var gains []float64
+		for wi := range ws {
+			base, sys := rs[2*(ti*len(ws)+wi)], rs[2*(ti*len(ws)+wi)+1]
 			gains = append(gains, 100*soc.PerfImprovement(sys, base))
 		}
 		res.Rows = append(res.Rows, Fig10Row{TDP: tdp, Summary: stats.Violin(gains), Gains: gains})

@@ -37,29 +37,31 @@ type Fig2aResult struct {
 
 // Fig2a runs the motivation experiment on the emulated Broadwell
 // platform: CPU cores pinned at 1.2GHz, IO and memory domains either
-// at the baseline point or statically at the MD-DVFS point.
+// at the baseline point or statically at the MD-DVFS point. The three
+// setups of all three benchmarks run as one batch.
 func Fig2a() (Fig2aResult, error) {
 	var out Fig2aResult
+	pin := func(f vf.Hz) func(*soc.Config) {
+		return func(c *soc.Config) { c.FixedCoreFreq = f }
+	}
+	var cfgs []soc.Config
 	for _, name := range fig2Workloads {
 		w, err := workload.SPEC(name)
 		if err != nil {
 			return out, err
 		}
-		pin := func(f vf.Hz) func(*soc.Config) {
-			return func(c *soc.Config) { c.FixedCoreFreq = f }
-		}
-		base, err := runPolicy(w, policy.NewBaseline(), pin(1.2*vf.GHz))
-		if err != nil {
-			return out, err
-		}
-		md, err := runPolicy(w, policy.NewStaticPoint(1, false), pin(1.2*vf.GHz))
-		if err != nil {
-			return out, err
-		}
-		md13, err := runPolicy(w, policy.NewStaticPoint(1, true), pin(1.3*vf.GHz))
-		if err != nil {
-			return out, err
-		}
+		cfgs = append(cfgs,
+			configFor(w, policy.NewBaseline(), pin(1.2*vf.GHz)),
+			configFor(w, policy.NewStaticPoint(1, false), pin(1.2*vf.GHz)),
+			configFor(w, policy.NewStaticPoint(1, true), pin(1.3*vf.GHz)),
+		)
+	}
+	rs, err := submit(cfgs)
+	if err != nil {
+		return out, err
+	}
+	for i, name := range fig2Workloads {
+		base, md, md13 := rs[3*i], rs[3*i+1], rs[3*i+2]
 		out.Rows = append(out.Rows, Fig2aRow{
 			Name:        name,
 			PowerDelta:  float64(md.AvgPower/base.AvgPower) - 1,

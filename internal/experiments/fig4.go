@@ -33,16 +33,16 @@ func Fig4() (Fig4Result, error) {
 	w := workload.Stream()
 	pin := func(c *soc.Config) { c.FixedCoreFreq = 1.2 * vf.GHz }
 
-	opt, err := runPolicy(w, policy.NewStaticPoint(1, false), pin)
-	if err != nil {
-		return Fig4Result{}, err
-	}
 	unoptPolicy := policy.NewStaticPoint(1, false)
 	unoptPolicy.OptimizedMRC = false
-	unopt, err := runPolicy(w, unoptPolicy, pin)
+	rs, err := submit([]soc.Config{
+		configFor(w, policy.NewStaticPoint(1, false), pin),
+		configFor(w, unoptPolicy, pin),
+	})
 	if err != nil {
 		return Fig4Result{}, err
 	}
+	opt, unopt := rs[0], rs[1]
 
 	memOpt := opt.RailAvg[vf.RailVDDQ] + opt.RailAvg[vf.RailVIO]
 	memUnopt := unopt.RailAvg[vf.RailVDDQ] + unopt.RailAvg[vf.RailVIO]

@@ -107,6 +107,9 @@ func fig6Panel(pair Fig6Pair, class workload.Class, opt Fig6Options, seed uint64
 	runs := make([]core.CalibrationRun, 0, len(ws))
 	ladder := []vf.OperatingPoint{pair.High, pair.Low}
 
+	// Both static points of every workload as one batch: the panel's
+	// 2×N runs are independent, so the engine fans them out.
+	cfgs := make([]soc.Config, 0, 2*len(ws))
 	for _, w := range ws {
 		cfg := soc.DefaultConfig()
 		cfg.Workload = w
@@ -121,16 +124,17 @@ func fig6Panel(pair Fig6Pair, class workload.Class, opt Fig6Options, seed uint64
 
 		cfgHigh := cfg
 		cfgHigh.Policy = policy.NewStaticPoint(0, false)
-		high, err := soc.Run(cfgHigh)
-		if err != nil {
-			return Fig6Panel{}, err
-		}
 		cfgLow := cfg
 		cfgLow.Policy = policy.NewStaticPoint(1, false)
-		low, err := soc.Run(cfgLow)
-		if err != nil {
-			return Fig6Panel{}, err
-		}
+		cfgs = append(cfgs, cfgHigh, cfgLow)
+	}
+	rs, err := submit(cfgs)
+	if err != nil {
+		return Fig6Panel{}, err
+	}
+
+	for i := range ws {
+		high, low := rs[2*i], rs[2*i+1]
 		if high.Score <= 0 {
 			continue
 		}

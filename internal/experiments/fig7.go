@@ -38,44 +38,56 @@ type Fig7Result struct {
 	MaxSysScale                            float64
 }
 
-// Fig7 runs the full SPEC CPU2006 suite.
+// Fig7 runs the full SPEC CPU2006 suite: the four closed-loop policies
+// of every benchmark as one batch, then the §6 scalability probes as a
+// second batch (they depend on the baseline results), then the
+// projections — whose probe runs resolve from the engine cache.
 func Fig7() (Fig7Result, error) {
 	var res Fig7Result
 	high, low := vf.HighPoint(), vf.LowPoint()
-	for _, w := range workload.SPECSuite() {
-		base, sys, err := pair(w, nil)
-		if err != nil {
-			return res, err
-		}
+	ws := workload.SPECSuite()
+
+	m, err := runMatrix(ws, []soc.Policy{
+		policy.NewBaseline(),
+		policy.NewSysScaleDefault(),
+		policy.NewMemScaleRedist(),
+		policy.NewCoScaleRedist(),
+	}, nil)
+	if err != nil {
+		return res, err
+	}
+
+	baseCfgs := make([]soc.Config, len(ws))
+	bases := make([]soc.Result, len(ws))
+	for i, w := range ws {
+		baseCfgs[i] = configFor(w, policy.NewBaseline(), nil)
+		bases[i] = m[i][0]
+	}
+	if err := prewarmProbes(baseCfgs, bases, false); err != nil {
+		return res, err
+	}
+
+	run := Engine().Run
+	for i, w := range ws {
+		base, sys, simMem, simCo := m[i][0], m[i][1], m[i][2], m[i][3]
 		row := Fig7Row{
 			Name:         w.Name,
 			SysScale:     soc.PerfImprovement(sys, base),
 			LowResidency: 1 - sys.PointResidency[0],
+			SimMemScaleR: soc.PerfImprovement(simMem, base),
+			SimCoScaleR:  soc.PerfImprovement(simCo, base),
 		}
 
-		cfg := baseConfig(w)
-		cfg.Policy = policy.NewBaseline()
 		memSave := soc.MemScaleProjectedSavings(base, high, low)
-		row.MemScaleR, err = soc.ProjectedPerfGain(cfg, base, memSave, false)
+		row.MemScaleR, err = soc.ProjectedPerfGainWith(run, baseCfgs[i], base, memSave, false)
 		if err != nil {
 			return res, err
 		}
 		coSave := soc.CoScaleProjectedSavings(base, high, low)
-		row.CoScaleR, err = soc.ProjectedPerfGain(cfg, base, coSave, false)
+		row.CoScaleR, err = soc.ProjectedPerfGainWith(run, baseCfgs[i], base, coSave, false)
 		if err != nil {
 			return res, err
 		}
-
-		simMem, err := runPolicy(w, policy.NewMemScaleRedist(), nil)
-		if err != nil {
-			return res, err
-		}
-		simCo, err := runPolicy(w, policy.NewCoScaleRedist(), nil)
-		if err != nil {
-			return res, err
-		}
-		row.SimMemScaleR = soc.PerfImprovement(simMem, base)
-		row.SimCoScaleR = soc.PerfImprovement(simCo, base)
 
 		res.Rows = append(res.Rows, row)
 		res.AvgMemScaleR += row.MemScaleR

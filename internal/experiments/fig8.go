@@ -26,23 +26,33 @@ type Fig8Row struct {
 // lowest frequency so CoScale cannot scale it further).
 type Fig8Result struct{ Rows []Fig8Row }
 
-// Fig8 runs the three 3DMark workloads.
+// Fig8 runs the three 3DMark workloads as one batch, then the graphics
+// scalability probes, then the projections (probe runs cached).
 func Fig8() (Fig8Result, error) {
 	var res Fig8Result
 	high, low := vf.HighPoint(), vf.LowPoint()
-	for _, w := range workload.GraphicsSuite() {
-		base, sys, err := pair(w, nil)
-		if err != nil {
-			return res, err
+	ws := workload.GraphicsSuite()
+
+	base, sys, err := pairSuite(ws, nil)
+	if err != nil {
+		return res, err
+	}
+	baseCfgs := make([]soc.Config, len(ws))
+	for i, w := range ws {
+		baseCfgs[i] = configFor(w, policy.NewBaseline(), nil)
+	}
+	if err := prewarmProbes(baseCfgs, base, true); err != nil {
+		return res, err
+	}
+
+	run := Engine().Run
+	for i, w := range ws {
+		row := Fig8Row{Name: w.Name, SysScale: soc.PerfImprovement(sys[i], base[i])}
+		if base[i].AvgGfxFreq > 0 {
+			row.AvgGfxBoost = float64(sys[i].AvgGfxFreq)/float64(base[i].AvgGfxFreq) - 1
 		}
-		row := Fig8Row{Name: w.Name, SysScale: soc.PerfImprovement(sys, base)}
-		if base.AvgGfxFreq > 0 {
-			row.AvgGfxBoost = float64(sys.AvgGfxFreq)/float64(base.AvgGfxFreq) - 1
-		}
-		cfg := baseConfig(w)
-		cfg.Policy = policy.NewBaseline()
-		memSave := soc.MemScaleProjectedSavings(base, high, low)
-		row.MemScaleR, err = soc.ProjectedPerfGain(cfg, base, memSave, true)
+		memSave := soc.MemScaleProjectedSavings(base[i], high, low)
+		row.MemScaleR, err = soc.ProjectedPerfGainWith(run, baseCfgs[i], base[i], memSave, true)
 		if err != nil {
 			return res, err
 		}

@@ -25,30 +25,30 @@ type Fig9Row struct {
 // 6.4/9.5/7.6/10.7%, prior work ~1.3-2.1%).
 type Fig9Result struct{ Rows []Fig9Row }
 
-// Fig9 runs the battery suite. Video conferencing additionally raises
-// the static demand floor through the camera CSR.
+// Fig9 runs the battery suite as one batch. Video conferencing
+// additionally raises the static demand floor through the camera CSR.
 func Fig9() (Fig9Result, error) {
 	var res Fig9Result
 	high, low := vf.HighPoint(), vf.LowPoint()
-	for _, w := range workload.BatterySuite() {
-		mut := func(c *soc.Config) {
-			if w.Name == "video-conf" {
-				csr := c.CSR
-				csr.Camera = ioengine.Camera720p
-				c.CSR = csr
-			}
+	ws := workload.BatterySuite()
+	base, sys, err := pairSuite(ws, func(w workload.Workload, c *soc.Config) {
+		if w.Name == "video-conf" {
+			csr := c.CSR
+			csr.Camera = ioengine.Camera720p
+			c.CSR = csr
 		}
-		base, sys, err := pair(w, mut)
-		if err != nil {
-			return res, err
-		}
-		memSave := soc.MemScaleProjectedSavings(base, high, low)
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, w := range ws {
+		memSave := soc.MemScaleProjectedSavings(base[i], high, low)
 		row := Fig9Row{
 			Name:      w.Name,
-			SysScale:  soc.PowerReduction(sys, base),
-			MemScaleR: soc.ProjectedPowerReduction(base, memSave),
-			PerfMet:   sys.PerfMet,
-			BaseWatts: float64(base.AvgPower),
+			SysScale:  soc.PowerReduction(sys[i], base[i]),
+			MemScaleR: soc.ProjectedPowerReduction(base[i], memSave),
+			PerfMet:   sys[i].PerfMet,
+			BaseWatts: float64(base[i].AvgPower),
 		}
 		// The CPU already idles at its lowest frequency in battery
 		// workloads, so CoScale saves the same power as MemScale (§7.3).

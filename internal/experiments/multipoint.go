@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sysscale/internal/policy"
 	"sysscale/internal/soc"
@@ -36,14 +37,26 @@ type MultiPointRow struct {
 }
 
 // stepWatcher wraps a policy and records the largest single-interval
-// ladder step.
+// ladder step. Clones share the counter, so one watcher aggregates
+// across every job of a concurrent batch; recording is a side effect
+// of Decide, so the watcher opts out of result memoization (a cache
+// hit would skip the observation).
 type stepWatcher struct {
 	inner   soc.Policy
-	maxStep int
+	maxStep *atomic.Int64
 }
 
+func newStepWatcher(inner soc.Policy) *stepWatcher {
+	return &stepWatcher{inner: inner, maxStep: new(atomic.Int64)}
+}
+
+func (w *stepWatcher) MaxStep() int { return int(w.maxStep.Load()) }
 func (w *stepWatcher) Name() string { return w.inner.Name() }
 func (w *stepWatcher) Reset()       { w.inner.Reset() }
+func (w *stepWatcher) Uncacheable() {}
+func (w *stepWatcher) Clone() soc.Policy {
+	return &stepWatcher{inner: w.inner.Clone(), maxStep: w.maxStep}
+}
 func (w *stepWatcher) Decide(ctx soc.PolicyContext) soc.PolicyDecision {
 	d := w.inner.Decide(ctx)
 	from, to := -1, -1
@@ -56,12 +69,15 @@ func (w *stepWatcher) Decide(ctx soc.PolicyContext) soc.PolicyDecision {
 		}
 	}
 	if from >= 0 && to >= 0 {
-		step := from - to
+		step := int64(from - to)
 		if step < 0 {
 			step = -step
 		}
-		if step > w.maxStep {
-			w.maxStep = step
+		for {
+			cur := w.maxStep.Load()
+			if step <= cur || w.maxStep.CompareAndSwap(cur, step) {
+				break
+			}
 		}
 	}
 	return d
@@ -70,34 +86,34 @@ func (w *stepWatcher) Decide(ctx soc.PolicyContext) soc.PolicyDecision {
 // multiPointWorkloads spans the bottleneck spectrum.
 var multiPointWorkloads = []string{"416.gamess", "473.astar", "403.gcc", "470.lbm"}
 
-// MultiPoint runs the comparison.
+// MultiPoint runs the comparison: baseline, two-point SysScale and the
+// watched three-point SysScale for every workload, as one batch.
 func MultiPoint() (MultiPointResult, error) {
 	var res MultiPointResult
+	ws := make([]workload.Workload, 0, len(multiPointWorkloads))
 	for _, name := range multiPointWorkloads {
 		w, err := workload.SPEC(name)
 		if err != nil {
 			return res, err
 		}
-		base, err := runPolicy(w, policy.NewBaseline(), nil)
-		if err != nil {
-			return res, err
-		}
-		two, err := runPolicy(w, policy.NewSysScaleDefault(), nil)
-		if err != nil {
-			return res, err
-		}
-		watcher := &stepWatcher{inner: policy.NewSysScaleDefault()}
-		three, err := runPolicy(w, watcher, func(c *soc.Config) {
-			c.Ladder = vf.LadderLPDDR3()
+		ws = append(ws, w)
+	}
+	watcher := newStepWatcher(policy.NewSysScaleDefault())
+	m, err := runMatrix(ws,
+		[]soc.Policy{policy.NewBaseline(), policy.NewSysScaleDefault(), watcher},
+		func(w workload.Workload, c *soc.Config) {
+			if c.Policy == watcher {
+				c.Ladder = vf.LadderLPDDR3()
+			}
 		})
-		if err != nil {
-			return res, err
-		}
-		if watcher.maxStep > res.MaxStep {
-			res.MaxStep = watcher.maxStep
-		}
+	if err != nil {
+		return res, err
+	}
+	res.MaxStep = watcher.MaxStep()
+	for i, w := range ws {
+		base, two, three := m[i][0], m[i][1], m[i][2]
 		res.Rows = append(res.Rows, MultiPointRow{
-			Name:           name,
+			Name:           w.Name,
 			TwoPointGain:   soc.PerfImprovement(two, base),
 			ThreePointGain: soc.PerfImprovement(three, base),
 			Residency:      three.PointResidency,

@@ -1,0 +1,114 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+
+	"sysscale/internal/perfcounters"
+	"sysscale/internal/soc"
+	"sysscale/internal/vf"
+)
+
+// cloneSequence is a context sequence that exercises every piece of
+// governor state: savings credits (high/low power observations),
+// CoScale's sticky demotion, and the adjacent-point walk.
+func cloneSequence() []soc.PolicyContext {
+	memLow := memOnlyPoint(vf.LowPoint(), vf.HighPoint())
+	stalled := busyCounters()
+	stalled[perfcounters.LLCStalls] = 70
+
+	ctx1 := testCtx(vf.HighPoint(), stalled)
+	ctx1.IOMemPower = 1.2
+	ctx1.ComputeBudget = 2.0
+	ctx1.ComputePower = 1.1
+
+	ctx2 := testCtx(memLow, quietCounters())
+	ctx2.IOMemPower = 0.7
+
+	ctx3 := testCtx(vf.LowPoint(), quietCounters())
+	ctx3.IOMemPower = 0.6
+
+	ctx4 := testCtx(vf.HighPoint(), busyCounters())
+	ctx4.IOMemPower = 1.3
+
+	ctx5 := testCtx(memLow, quietCounters())
+	ctx5.IOMemPower = 0.65
+	ctx5.ComputeBudget = 2.0
+	ctx5.ComputePower = 0.9
+
+	return []soc.PolicyContext{ctx1, ctx2, ctx3, ctx4, ctx5}
+}
+
+// trace runs the policy through the sequence and records its decisions.
+func trace(p soc.Policy) []soc.PolicyDecision {
+	var out []soc.PolicyDecision
+	for _, ctx := range cloneSequence() {
+		out = append(out, p.Decide(ctx))
+	}
+	return out
+}
+
+// TestCloneIndependence covers every shipped policy: a clone taken
+// before the original accumulates state must decide exactly like a
+// fresh instance, and dirtying the original must not leak into clones
+// taken either before or after.
+func TestCloneIndependence(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() soc.Policy
+	}{
+		{"baseline", func() soc.Policy { return NewBaseline() }},
+		{"static-point", func() soc.Policy { return NewStaticPoint(1, true) }},
+		{"static-point-unopt", func() soc.Policy {
+			s := NewStaticPoint(1, false)
+			s.OptimizedMRC = false
+			return s
+		}},
+		{"sysscale", func() soc.Policy { return NewSysScaleDefault() }},
+		{"sysscale-custom", func() soc.Policy {
+			thr := DefaultThresholds()
+			thr.LLCStalls /= 2
+			return NewSysScale(thr)
+		}},
+		{"memscale", func() soc.Policy { return NewMemScale() }},
+		{"memscale-redist", func() soc.Policy { return NewMemScaleRedist() }},
+		{"coscale", func() soc.Policy { return NewCoScale() }},
+		{"coscale-redist", func() soc.Policy { return NewCoScaleRedist() }},
+		{"no-mrc-wrapper", func() soc.Policy { return WithoutOptimizedMRC(NewSysScaleDefault()) }},
+		{"no-redist-wrapper", func() soc.Policy { return WithoutRedistribution(NewCoScaleRedist()) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := trace(tc.mk())
+
+			// Clone before dirtying, then dirty the original.
+			orig := tc.mk()
+			before := orig.Clone()
+			_ = trace(orig) // mutate the original's state
+
+			if got := trace(before); !reflect.DeepEqual(got, want) {
+				t.Error("clone taken before mutation was affected by the sibling")
+			}
+
+			// A clone of the now-dirty original must still start fresh:
+			// Clone carries configuration, not accumulated state.
+			after := orig.Clone()
+			if got := trace(after); !reflect.DeepEqual(got, want) {
+				t.Error("clone of a dirty policy inherited its state")
+			}
+
+			// Dirtying a clone must not leak back into the original.
+			orig2 := tc.mk()
+			c := orig2.Clone()
+			_ = trace(c)
+			orig2Trace := trace(orig2)
+			if !reflect.DeepEqual(orig2Trace, want) {
+				t.Error("mutating a clone leaked into the original")
+			}
+
+			if before.Name() != orig.Name() {
+				t.Error("clone changed the policy name")
+			}
+		})
+	}
+}

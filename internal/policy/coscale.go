@@ -75,6 +75,14 @@ func (c *CoScale) Reset() {
 	c.demoted = 0
 }
 
+// Clone implements soc.Policy: the copy keeps the tuning knobs but
+// starts with empty credits and no sticky demotion.
+func (c *CoScale) Clone() soc.Policy {
+	cp := *c
+	cp.Reset()
+	return &cp
+}
+
 // Decide implements soc.Policy.
 func (c *CoScale) Decide(ctx soc.PolicyContext) soc.PolicyDecision {
 	top := ctx.Ladder[0]

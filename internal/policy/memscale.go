@@ -58,6 +58,14 @@ func (m *MemScale) Name() string {
 // Reset implements soc.Policy.
 func (m *MemScale) Reset() { m.credit = savingsCredit{} }
 
+// Clone implements soc.Policy: the copy keeps the tuning knobs but
+// starts with an empty savings credit.
+func (m *MemScale) Clone() soc.Policy {
+	c := *m
+	c.Reset()
+	return &c
+}
+
 // Decide implements soc.Policy.
 func (m *MemScale) Decide(ctx soc.PolicyContext) soc.PolicyDecision {
 	top := ctx.Ladder[0]

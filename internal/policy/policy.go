@@ -30,6 +30,9 @@ func (*Baseline) Name() string { return "baseline" }
 // Reset implements soc.Policy.
 func (*Baseline) Reset() {}
 
+// Clone implements soc.Policy.
+func (*Baseline) Clone() soc.Policy { return &Baseline{} }
+
 // Decide implements soc.Policy: always the top point, always worst-case
 // reservations.
 func (*Baseline) Decide(ctx soc.PolicyContext) soc.PolicyDecision {
@@ -78,6 +81,12 @@ func (s *StaticPoint) Name() string {
 
 // Reset implements soc.Policy.
 func (*StaticPoint) Reset() {}
+
+// Clone implements soc.Policy.
+func (s *StaticPoint) Clone() soc.Policy {
+	c := *s
+	return &c
+}
 
 // Decide implements soc.Policy.
 func (s *StaticPoint) Decide(ctx soc.PolicyContext) soc.PolicyDecision {

@@ -46,6 +46,12 @@ func (*SysScale) Name() string { return "sysscale" }
 // Reset implements soc.Policy.
 func (*SysScale) Reset() {}
 
+// Clone implements soc.Policy.
+func (s *SysScale) Clone() soc.Policy {
+	c := *s
+	return &c
+}
+
 // calibCoreFreq is the core clock at which the default thresholds were
 // calibrated. The traffic-proportional counters (occupancy, stall
 // share) scale with the core clock for a given workload, so the

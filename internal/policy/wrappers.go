@@ -13,8 +13,10 @@ type mrcOff struct{ inner soc.Policy }
 // Observation 4 failure mode inside an otherwise unchanged policy.
 func WithoutOptimizedMRC(p soc.Policy) soc.Policy { return &mrcOff{inner: p} }
 
-func (m *mrcOff) Name() string { return m.inner.Name() + "-no-mrc" }
-func (m *mrcOff) Reset()       { m.inner.Reset() }
+func (m *mrcOff) Name() string       { return m.inner.Name() + "-no-mrc" }
+func (m *mrcOff) Reset()             { m.inner.Reset() }
+func (m *mrcOff) Clone() soc.Policy  { return &mrcOff{inner: m.inner.Clone()} }
+func (m *mrcOff) Unwrap() soc.Policy { return m.inner }
 func (m *mrcOff) Decide(ctx soc.PolicyContext) soc.PolicyDecision {
 	d := m.inner.Decide(ctx)
 	d.OptimizedMRC = false
@@ -29,8 +31,10 @@ type noRedist struct{ inner soc.Policy }
 // "pure power-saving" mode the ablation compares against.
 func WithoutRedistribution(p soc.Policy) soc.Policy { return &noRedist{inner: p} }
 
-func (n *noRedist) Name() string { return n.inner.Name() + "-no-redist" }
-func (n *noRedist) Reset()       { n.inner.Reset() }
+func (n *noRedist) Name() string       { return n.inner.Name() + "-no-redist" }
+func (n *noRedist) Reset()             { n.inner.Reset() }
+func (n *noRedist) Clone() soc.Policy  { return &noRedist{inner: n.inner.Clone()} }
+func (n *noRedist) Unwrap() soc.Policy { return n.inner }
 func (n *noRedist) Decide(ctx soc.PolicyContext) soc.PolicyDecision {
 	d := n.inner.Decide(ctx)
 	top := ctx.Ladder[0]

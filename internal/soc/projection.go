@@ -109,10 +109,17 @@ func dramActiveShare(base Result) float64 {
 //
 // gfx selects the graphics projection (Fig. 8) instead of the CPU one.
 func ProjectedPerfGain(cfg Config, base Result, savings power.Watt, gfx bool) (float64, error) {
+	return ProjectedPerfGainWith(Run, cfg, base, savings, gfx)
+}
+
+// ProjectedPerfGainWith is ProjectedPerfGain with the scalability probe
+// executed through run, letting batch callers reuse an engine's
+// memoized probe result.
+func ProjectedPerfGainWith(run RunFunc, cfg Config, base Result, savings power.Watt, gfx bool) (float64, error) {
 	if savings <= 0 {
 		return 0, nil
 	}
-	scal, err := MeasureScalability(cfg, base, gfx)
+	scal, err := MeasureScalabilityWith(run, cfg, base, gfx)
 	if err != nil {
 		return 0, err
 	}
@@ -150,21 +157,43 @@ func ProjectedPerfGain(cfg Config, base Result, savings power.Watt, gfx bool) (f
 // relevant clock raised 10% and take the relative score change per
 // relative frequency change.
 func MeasureScalability(cfg Config, base Result, gfx bool) (float64, error) {
-	probe := cfg
-	const bump = 1.10
+	return MeasureScalabilityWith(Run, cfg, base, gfx)
+}
+
+// scalabilityBump is the relative clock raise of the probe run.
+const scalabilityBump = 1.10
+
+// ScalabilityProbeConfig returns the probe configuration the
+// scalability measurement executes. ok is false when the base run
+// exposes no relevant clock (the scalability is then defined as 0).
+// Batch callers pre-run the probes of a whole suite through the engine
+// so the subsequent MeasureScalabilityWith calls hit its cache.
+func ScalabilityProbeConfig(cfg Config, base Result, gfx bool) (probe Config, ok bool) {
+	probe = cfg
 	if gfx {
 		if base.AvgGfxFreq <= 0 {
-			return 0, nil
+			return probe, false
 		}
-		probe.FixedGfxFreq = vf.Hz(float64(base.AvgGfxFreq) * bump)
+		probe.FixedGfxFreq = vf.Hz(float64(base.AvgGfxFreq) * scalabilityBump)
 		probe.FixedCoreFreq = base.AvgCoreFreq
 	} else {
 		if base.AvgCoreFreq <= 0 {
-			return 0, nil
+			return probe, false
 		}
-		probe.FixedCoreFreq = vf.Hz(float64(base.AvgCoreFreq) * bump)
+		probe.FixedCoreFreq = vf.Hz(float64(base.AvgCoreFreq) * scalabilityBump)
 	}
-	r, err := Run(probe)
+	return probe, true
+}
+
+// MeasureScalabilityWith is MeasureScalability with the probe executed
+// through run.
+func MeasureScalabilityWith(run RunFunc, cfg Config, base Result, gfx bool) (float64, error) {
+	const bump = scalabilityBump
+	probe, ok := ScalabilityProbeConfig(cfg, base, gfx)
+	if !ok {
+		return 0, nil
+	}
+	r, err := run(probe)
 	if err != nil {
 		return 0, err
 	}

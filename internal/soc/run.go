@@ -25,6 +25,12 @@ func Run(cfg Config) (Result, error) {
 	return p.run()
 }
 
+// RunFunc is the signature of Run. Call sites that execute auxiliary
+// simulations (the §6 scalability probes) accept a RunFunc so callers
+// can route those runs through a caching engine instead of the bare
+// simulator.
+type RunFunc func(Config) (Result, error)
+
 // MustRun is Run that panics on error, for benchmarks and examples
 // whose configs are statically known-good.
 func MustRun(cfg Config) Result {
@@ -148,7 +154,7 @@ func (p *Platform) run() (Result, error) {
 				GfxBusy:       ph.GfxFrac > 0.02 || ph.GfxActivity > 0,
 			}
 			dec := cfg.Policy.Decide(ctx)
-			if err := p.executeDecision(now, dec); err != nil {
+			if err := p.executeDecision(dec); err != nil {
 				return Result{}, err
 			}
 			stall, err := p.maybeTransition(now, dec)
@@ -272,7 +278,7 @@ func (p *Platform) setBonus(b power.Watt) {
 
 // executeDecision programs the budget reservations (clamped by the
 // TDP-proportional reservation cap).
-func (p *Platform) executeDecision(now sim.Time, dec PolicyDecision) error {
+func (p *Platform) executeDecision(dec PolicyDecision) error {
 	io, mem := dec.IOBudget, dec.MemBudget
 	if io <= 0 {
 		io = p.WorstCaseIOBudget(p.cfg.Ladder[0])

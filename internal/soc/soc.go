@@ -91,6 +91,13 @@ type Policy interface {
 	Decide(ctx PolicyContext) PolicyDecision
 	// Reset clears internal state before a run.
 	Reset()
+	// Clone returns an independent copy of the policy carrying the same
+	// configuration but none of the accumulated decision state. Run
+	// mutates policy state (governors are stateful and Reset at run
+	// start), so sharing one Policy value across concurrent simulations
+	// is a data race; the run engine clones the configured policy once
+	// per job instead. Clone must be safe to call from any goroutine.
+	Clone() Policy
 }
 
 // Config describes one simulation run.

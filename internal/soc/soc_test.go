@@ -23,6 +23,10 @@ type testPolicy struct {
 
 func (p *testPolicy) Name() string { return "test-static" }
 func (p *testPolicy) Reset()       {}
+func (p *testPolicy) Clone() Policy {
+	c := *p
+	return &c
+}
 func (p *testPolicy) Decide(ctx PolicyContext) PolicyDecision {
 	idx := p.index
 	if idx < 0 || idx >= len(ctx.Ladder) {
@@ -199,8 +203,9 @@ func TestTransitionsAreCountedAndBounded(t *testing.T) {
 
 type alternatingPolicy struct{ flip bool }
 
-func (p *alternatingPolicy) Name() string { return "alternating" }
-func (p *alternatingPolicy) Reset()       { p.flip = false }
+func (p *alternatingPolicy) Name() string  { return "alternating" }
+func (p *alternatingPolicy) Reset()        { p.flip = false }
+func (p *alternatingPolicy) Clone() Policy { return &alternatingPolicy{} }
 func (p *alternatingPolicy) Decide(ctx PolicyContext) PolicyDecision {
 	p.flip = !p.flip
 	idx := 0

@@ -22,11 +22,32 @@
 // Compare against the worst-case-provisioned baseline by running the
 // same configuration with sysscale.NewBaseline() and using
 // PerfImprovement / PowerReduction on the two results.
+//
+// Suite sweeps go through RunBatch, which fans the independent
+// simulations out over a worker pool (bounded by GOMAXPROCS by
+// default) and returns results in input order. One Policy value can
+// back every config — the engine clones it per job:
+//
+//	sys := sysscale.NewSysScale()
+//	var cfgs []sysscale.Config
+//	for _, w := range sysscale.SPECSuite() {
+//		cfg := sysscale.DefaultConfig()
+//		cfg.Workload = w
+//		cfg.Policy = sys
+//		cfgs = append(cfgs, cfg)
+//	}
+//	results, err := sysscale.RunBatch(cfgs) // results[i] ↔ cfgs[i]
+//
+// For explicit control over parallelism and memoization, construct an
+// engine: sysscale.NewEngine(sysscale.WithParallelism(4)).RunBatch(...).
+// Repeated configurations (baselines shared across comparisons) are
+// simulated once and served from the engine's result cache afterwards.
 package sysscale
 
 import (
 	"sysscale/internal/core"
 	"sysscale/internal/dram"
+	"sysscale/internal/engine"
 	"sysscale/internal/ioengine"
 	"sysscale/internal/policy"
 	"sysscale/internal/power"
@@ -110,6 +131,53 @@ func Run(cfg Config) (Result, error) { return soc.Run(cfg) }
 
 // MustRun is Run that panics on error.
 func MustRun(cfg Config) Result { return soc.MustRun(cfg) }
+
+// Batch execution types.
+type (
+	// Engine is the concurrent run service: a bounded worker pool with
+	// a memoizing result cache. Construct with NewEngine.
+	Engine = engine.Engine
+	// Job is one unit of Engine batch work.
+	Job = engine.Job
+	// EngineOption configures NewEngine.
+	EngineOption = engine.Option
+	// EngineStats is the snapshot returned by Engine.CacheStats.
+	EngineStats = engine.Stats
+)
+
+// NewEngine returns a run engine with the given options.
+func NewEngine(opts ...EngineOption) *Engine { return engine.New(opts...) }
+
+// WithParallelism bounds the engine's in-flight simulations (n <= 0
+// selects GOMAXPROCS, the default).
+func WithParallelism(n int) EngineOption { return engine.WithParallelism(n) }
+
+// WithCache enables or disables the engine's result memoization
+// (enabled by default).
+func WithCache(enabled bool) EngineOption { return engine.WithCache(enabled) }
+
+// defaultEngine backs the package-level RunBatch, so batch results are
+// memoized process-wide.
+var defaultEngine = engine.New()
+
+// RunBatch simulates the configurations concurrently with bounded
+// parallelism and returns their results in input order. The batch is
+// deterministic: whatever the worker count, the results are identical
+// to running each config sequentially through Run. Policies are cloned
+// per job, so configs may share one Policy value. On the first failure
+// RunBatch stops scheduling work and returns the error.
+//
+// The shared engine memoizes every distinct config's result for the
+// life of the process. Callers sweeping an unbounded config space
+// should construct their own engine — NewEngine(WithCache(false)), or
+// with periodic ClearCache calls — to bound memory.
+func RunBatch(cfgs []Config) ([]Result, error) {
+	jobs := make([]Job, len(cfgs))
+	for i, c := range cfgs {
+		jobs[i] = Job{Config: c}
+	}
+	return defaultEngine.RunBatch(jobs)
+}
 
 // NewBaseline returns the evaluation baseline: IO and memory domains
 // pinned at the highest operating point with worst-case reservations.

@@ -1,6 +1,7 @@
 package sysscale_test
 
 import (
+	"reflect"
 	"testing"
 
 	"sysscale"
@@ -109,12 +110,57 @@ func TestBatteryThroughPublicAPI(t *testing.T) {
 	}
 }
 
+// TestRunBatchMatchesRun verifies the concurrent batch facade returns
+// input-ordered results identical to sequential Run calls, with one
+// shared policy value across all configs.
+func TestRunBatchMatchesRun(t *testing.T) {
+	sys := sysscale.NewSysScale()
+	var cfgs []sysscale.Config
+	for _, name := range []string{"416.gamess", "470.lbm", "473.astar"} {
+		w, err := sysscale.SPEC(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sysscale.DefaultConfig()
+		cfg.Workload = w
+		cfg.Policy = sys
+		cfg.Duration = 300 * sysscale.Millisecond
+		cfgs = append(cfgs, cfg)
+	}
+	batch, err := sysscale.RunBatch(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(cfgs) {
+		t.Fatalf("got %d results for %d configs", len(batch), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		seq, err := sysscale.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i], seq) {
+			t.Errorf("batch result %d (%s) differs from sequential Run", i, cfg.Workload.Name)
+		}
+	}
+
+	eng := sysscale.NewEngine(sysscale.WithParallelism(2))
+	again, err := eng.RunBatch([]sysscale.Job{{Config: cfgs[0]}, {Config: cfgs[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again[0], again[1]) {
+		t.Fatal("duplicate configs disagree")
+	}
+}
+
 // TestCustomPolicy verifies the Policy interface is implementable from
 // outside the module internals.
 type alwaysLow struct{}
 
-func (alwaysLow) Name() string { return "always-low" }
-func (alwaysLow) Reset()       {}
+func (alwaysLow) Name() string           { return "always-low" }
+func (alwaysLow) Reset()                 {}
+func (alwaysLow) Clone() sysscale.Policy { return alwaysLow{} }
 func (alwaysLow) Decide(ctx sysscale.PolicyContext) sysscale.PolicyDecision {
 	target := ctx.Ladder[len(ctx.Ladder)-1]
 	return sysscale.PolicyDecision{
