@@ -8,19 +8,24 @@
 //
 // -workload accepts a SPEC CPU2006 name, "3dmark06", "3dmark11",
 // "3dmarkvantage", "web-browsing", "light-gaming", "video-conf",
-// "video-playback" or "stream". -policy selects baseline, sysscale,
-// memscale[-redist], coscale[-redist], static-low. -compare also runs
-// the baseline and prints the deltas. -list shows all workloads.
+// "video-playback" or "stream" (all matched case-insensitively).
+// -policy selects baseline, sysscale, memscale[-redist],
+// coscale[-redist], static-low. -compare also runs the baseline and
+// prints the deltas. -verbose adds per-rail average power, DVFS
+// transition statistics and operating-point residency. -list shows all
+// workloads.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"sysscale"
+	"sysscale/internal/vf"
 	"sysscale/internal/workload"
 )
 
@@ -32,6 +37,7 @@ func main() {
 		tdp      = flag.Float64("tdp", 4.5, "package TDP in watts")
 		duration = flag.Duration("duration", 4*time.Second, "simulated duration")
 		compare  = flag.Bool("compare", false, "also run the baseline and print deltas")
+		verbose  = flag.Bool("verbose", false, "print per-rail power, transition and residency detail")
 		list     = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
@@ -79,6 +85,9 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(res)
+	if *verbose {
+		printVerbose(os.Stdout, cfg, res)
+	}
 
 	if *compare && *polName != "baseline" {
 		cfg.Policy = sysscale.NewBaseline()
@@ -94,6 +103,27 @@ func main() {
 	}
 }
 
+// printVerbose renders the -verbose detail block: per-rail average
+// power, DVFS transition statistics and operating-point residency.
+func printVerbose(w io.Writer, cfg sysscale.Config, res sysscale.Result) {
+	fmt.Fprintf(w, "rail averages:")
+	for i := 0; i < vf.NumRails; i++ {
+		fmt.Fprintf(w, " %v %.3fW", vf.RailID(i), res.RailAvg[i])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "transitions: %d (total %v, max %v)\n",
+		res.Transitions, res.TransitionTime, res.MaxTransition)
+	fmt.Fprintf(w, "residency:")
+	for i, f := range res.PointResidency {
+		name := fmt.Sprintf("point%d", i)
+		if i < len(cfg.Ladder) && cfg.Ladder[i].Name != "" {
+			name = cfg.Ladder[i].Name
+		}
+		fmt.Fprintf(w, " %s %.1f%%", name, 100*f)
+	}
+	fmt.Fprintln(w)
+}
+
 func loadWorkloadFile(path string) (sysscale.Workload, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -104,17 +134,21 @@ func loadWorkloadFile(path string) (sysscale.Workload, error) {
 }
 
 func findWorkload(name string) (sysscale.Workload, error) {
-	if w, err := sysscale.SPEC(name); err == nil {
-		return w, nil
-	}
 	lower := strings.ToLower(name)
+	// SPEC lookup is by canonical name (some are mixed-case, e.g.
+	// 436.cactusADM); resolve the query against the canonical list.
+	for _, n := range sysscale.SPECNames() {
+		if strings.ToLower(n) == lower {
+			return sysscale.SPEC(n)
+		}
+	}
 	for _, w := range sysscale.GraphicsSuite() {
 		if strings.ToLower(w.Name) == lower {
 			return w, nil
 		}
 	}
 	for _, w := range sysscale.BatterySuite() {
-		if w.Name == lower {
+		if strings.ToLower(w.Name) == lower {
 			return w, nil
 		}
 	}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sysscale"
+)
+
+// TestFindWorkloadCaseInsensitive: every suite must match regardless
+// of the caller's casing. The battery suite used to compare the stored
+// name (mixed case allowed) against the lowercased query and so could
+// never match names the graphics path would have accepted.
+func TestFindWorkloadCaseInsensitive(t *testing.T) {
+	// Include the mixed-case canonical SPEC names: both their exact
+	// form and any casing of them must resolve.
+	names := []string{"473.astar", "470.lbm", "436.cactusADM", "447.dealII", "459.GemsFDTD"}
+	for _, w := range sysscale.GraphicsSuite() {
+		names = append(names, w.Name)
+	}
+	for _, w := range sysscale.BatterySuite() {
+		names = append(names, w.Name)
+	}
+	names = append(names, "stream")
+	mixedCase := func(s string) string {
+		var sb strings.Builder
+		for i, r := range s {
+			if i%2 == 0 {
+				sb.WriteString(strings.ToUpper(string(r)))
+			} else {
+				sb.WriteRune(r)
+			}
+		}
+		return sb.String()
+	}
+	for _, name := range names {
+		for _, variant := range []string{name, strings.ToUpper(name), mixedCase(name)} {
+			w, err := findWorkload(variant)
+			if err != nil {
+				t.Errorf("findWorkload(%q): %v", variant, err)
+				continue
+			}
+			if !strings.EqualFold(w.Name, name) && name != "stream" {
+				t.Errorf("findWorkload(%q) returned %q", variant, w.Name)
+			}
+		}
+	}
+	if _, err := findWorkload("no-such-workload"); err == nil {
+		t.Error("unknown workload did not error")
+	}
+}
+
+// TestVerboseOutput checks the -verbose detail block the doc comment
+// advertises: per-rail averages, transition statistics and
+// operating-point residency.
+func TestVerboseOutput(t *testing.T) {
+	w, err := findWorkload("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sysscale.DefaultConfig()
+	cfg.Workload = w
+	cfg.Policy = sysscale.NewSysScale()
+	cfg.Duration = 100 * sysscale.Millisecond
+	res, err := sysscale.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	printVerbose(&sb, cfg, res)
+	out := sb.String()
+	for _, want := range []string{"rail averages:", "V_SA", "V_CORE", "transitions:", "residency:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verbose output missing %q:\n%s", want, out)
+		}
+	}
+	for _, op := range cfg.Ladder {
+		if !strings.Contains(out, op.Name) {
+			t.Errorf("verbose output missing ladder point %q:\n%s", op.Name, out)
+		}
+	}
+}

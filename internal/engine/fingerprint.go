@@ -53,6 +53,21 @@ func fingerprint(cfg soc.Config) (key string, cacheable bool) {
 // bound means a cyclic custom policy.
 const maxWalkDepth = 24
 
+// qualifiedTypeName renders a type's identity with its full import
+// path (e.g. "sysscale/internal/policy.SysScale" rather than
+// "policy.SysScale"). Pointer types are unwrapped recursively; types
+// without a package path (unnamed composites, builtins) keep their
+// structural String rendering, which is unambiguous for them.
+func qualifiedTypeName(t reflect.Type) string {
+	if t.Kind() == reflect.Ptr {
+		return "*" + qualifiedTypeName(t.Elem())
+	}
+	if pp := t.PkgPath(); pp != "" {
+		return pp + "." + t.Name()
+	}
+	return t.String()
+}
+
 // writeValue renders v canonically into w, returning false when the
 // value cannot be rendered soundly. Unexported fields are read through
 // the kind-specific accessors, which reflect permits without
@@ -94,15 +109,19 @@ func writeValue(w io.Writer, v reflect.Value, depth int) bool {
 			return true
 		}
 		// The dynamic type is part of the identity: two policies with
-		// identical fields but different types behave differently.
-		fmt.Fprintf(w, "%s(", v.Elem().Type())
+		// identical fields but different types behave differently. The
+		// name must be package-path-qualified: reflect.Type.String uses
+		// the unqualified package name, so two same-named types from
+		// different packages would alias onto one cache key and return
+		// each other's cached Results.
+		fmt.Fprintf(w, "%s(", qualifiedTypeName(v.Elem().Type()))
 		if !writeValue(w, v.Elem(), depth-1) {
 			return false
 		}
 		io.WriteString(w, ")")
 	case reflect.Struct:
 		t := v.Type()
-		fmt.Fprintf(w, "%s{", t)
+		fmt.Fprintf(w, "%s{", qualifiedTypeName(t))
 		for i := 0; i < v.NumField(); i++ {
 			fmt.Fprintf(w, "%s:", t.Field(i).Name)
 			if !writeValue(w, v.Field(i), depth-1) {

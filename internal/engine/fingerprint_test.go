@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"testing"
+
+	"sysscale/internal/engine/fptest/pkga"
+	"sysscale/internal/engine/fptest/pkgb"
+	"sysscale/internal/soc"
+	"sysscale/internal/workload"
+)
+
+// fpConfig builds one valid config around the given policy.
+func fpConfig(t *testing.T, p soc.Policy) soc.Config {
+	t.Helper()
+	w, err := workload.SPEC("473.astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := soc.DefaultConfig()
+	cfg.Workload = w
+	cfg.Policy = p
+	return cfg
+}
+
+// TestFingerprintQualifiesPackagePath: two same-named policy types
+// from different packages, with identical field values, must map to
+// different cache keys — otherwise the engine would return one
+// policy's cached Results for the other.
+func TestFingerprintQualifiesPackagePath(t *testing.T) {
+	ka, oka := fingerprint(fpConfig(t, &pkga.Pinned{Index: 1}))
+	kb, okb := fingerprint(fpConfig(t, &pkgb.Pinned{Index: 1}))
+	if !oka || !okb {
+		t.Fatalf("fixture policies should be cacheable (got %t, %t)", oka, okb)
+	}
+	if ka == kb {
+		t.Fatalf("same-named policies from different packages share a cache key %s", ka)
+	}
+}
+
+// TestFingerprintStableForEqualConfigs guards the opposite direction:
+// equal configs (same type, same values) still collide onto one key.
+func TestFingerprintStableForEqualConfigs(t *testing.T) {
+	k1, ok1 := fingerprint(fpConfig(t, &pkga.Pinned{Index: 2}))
+	k2, ok2 := fingerprint(fpConfig(t, &pkga.Pinned{Index: 2}))
+	if !ok1 || !ok2 {
+		t.Fatal("configs should be cacheable")
+	}
+	if k1 != k2 {
+		t.Fatalf("equal configs produced distinct keys %s vs %s", k1, k2)
+	}
+	k3, _ := fingerprint(fpConfig(t, &pkga.Pinned{Index: 3}))
+	if k1 == k3 {
+		t.Fatal("distinct policy configurations share a cache key")
+	}
+}

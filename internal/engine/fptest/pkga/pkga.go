@@ -1,0 +1,30 @@
+// Package pkga is a test fixture for the engine's cache-key
+// fingerprinting: it declares a policy type whose unqualified name
+// deliberately collides with pkgb's. The fingerprint must keep the two
+// apart by their package paths, or the engine would serve one policy's
+// cached Results for the other.
+package pkga
+
+import "sysscale/internal/soc"
+
+// Pinned is a minimal no-op policy. Its name and field layout match
+// pkgb.Pinned exactly.
+type Pinned struct {
+	Index int
+}
+
+// Name reports the same label as pkgb.Pinned on purpose: nothing but
+// the type identity distinguishes the two.
+func (p *Pinned) Name() string { return "pinned" }
+
+// Decide holds the platform at its current point.
+func (p *Pinned) Decide(soc.PolicyContext) soc.PolicyDecision { return soc.PolicyDecision{} }
+
+// Reset is a no-op.
+func (p *Pinned) Reset() {}
+
+// Clone returns an independent copy.
+func (p *Pinned) Clone() soc.Policy {
+	c := *p
+	return &c
+}

@@ -1,0 +1,25 @@
+// Package pkgb is the counterpart of pkga: a same-named, same-shaped
+// policy type in a different package. See pkga's doc comment.
+package pkgb
+
+import "sysscale/internal/soc"
+
+// Pinned mirrors pkga.Pinned field for field.
+type Pinned struct {
+	Index int
+}
+
+// Name matches pkga.Pinned's label on purpose.
+func (p *Pinned) Name() string { return "pinned" }
+
+// Decide holds the platform at its current point.
+func (p *Pinned) Decide(soc.PolicyContext) soc.PolicyDecision { return soc.PolicyDecision{} }
+
+// Reset is a no-op.
+func (p *Pinned) Reset() {}
+
+// Clone returns an independent copy.
+func (p *Pinned) Clone() soc.Policy {
+	c := *p
+	return &c
+}

@@ -175,6 +175,14 @@ func (f *Fabric) Evaluate(demandBytes float64) Epoch {
 // LastEpoch returns the most recently evaluated epoch.
 func (f *Fabric) LastEpoch() Epoch { return f.last }
 
+// RestoreEpoch reinstates ep as the rolling last-evaluated state, as
+// if Evaluate had just resolved it. The simulator's steady-state tick
+// memo serves repeated ticks without re-running Evaluate; the rolling
+// epoch feeds the drain latency of the next DVFS transition
+// (BlockAndDrain), so a memoized tick must leave it exactly as a
+// per-tick evaluation would.
+func (f *Fabric) RestoreEpoch(ep Epoch) { f.last = ep }
+
 // Power returns the fabric draw at the epoch's utilization.
 func (f *Fabric) Power(utilization float64) power.Watt {
 	if utilization < 0 {

@@ -214,6 +214,12 @@ func (c *Controller) burstTime() float64 {
 // LastEpoch returns the most recently evaluated epoch.
 func (c *Controller) LastEpoch() Epoch { return c.lastEpoch }
 
+// RestoreEpoch reinstates ep as the rolling last-evaluated state, as
+// if Evaluate had just resolved it. Used by the simulator's
+// steady-state tick memo so that skipping Evaluate on a repeated tick
+// leaves the controller's observable state identical to evaluating it.
+func (c *Controller) RestoreEpoch(ep Epoch) { c.lastEpoch = ep }
+
 // Power returns the controller's draw for an epoch with the given
 // utilization. Dynamic power scales as V²f with activity following
 // utilization (plus a scheduling floor); leakage scales with voltage —

@@ -76,6 +76,16 @@ func NewFlow(rails *vf.Rails, fabric *interconnect.Fabric, mc *memctrl.Controlle
 	return &Flow{rails: rails, fabric: fabric, mc: mc, dev: dev, store: store, log: log, opts: opts}, nil
 }
 
+// Reconfigure replaces the flow's options in place, keeping the wiring
+// and the cumulative transition statistics. The platform owns one
+// persistent Flow for a whole run and retargets it before each
+// transition: the MRC mode is a per-decision policy choice (§4.3), but
+// the flow hardware — and its stall accounting — is the same unit.
+func (f *Flow) Reconfigure(opts FlowOptions) { f.opts = opts }
+
+// Options returns the flow's current options.
+func (f *Flow) Options() FlowOptions { return f.opts }
+
 // Transitions returns the number of completed flow runs.
 func (f *Flow) Transitions() int { return f.transitions }
 

@@ -170,6 +170,42 @@ func TestFlowDetunedMode(t *testing.T) {
 	}
 }
 
+func TestFlowReconfigure(t *testing.T) {
+	// The platform keeps one persistent flow per run and retargets its
+	// options before each transition; cumulative statistics must
+	// survive reconfiguration, and the new options must take effect.
+	r := newRig(t)
+	f := r.flow(t, DefaultFlowOptions(1.6*vf.GHz))
+	if _, err := f.Transition(0, vf.LowPoint()); err != nil {
+		t.Fatal(err)
+	}
+	if r.dev.Timing().InterfaceEff < 1.0 {
+		t.Fatal("optimized mode loaded a detuned image")
+	}
+
+	opts := DefaultFlowOptions(1.6 * vf.GHz)
+	opts.OptimizedMRC = false
+	f.Reconfigure(opts)
+	if got := f.Options(); !got.Overlap || got.OptimizedMRC {
+		t.Fatalf("options not applied: %+v", got)
+	}
+	// Re-land on the low point: its frequency differs from the boot
+	// image's, so a detuned load is observable in the timing trims.
+	if _, err := f.Transition(0, vf.LowPoint()); err != nil {
+		t.Fatal(err)
+	}
+	if r.dev.Timing().InterfaceEff >= 1.0 {
+		t.Fatal("reconfigured detuned mode still loaded a trained image")
+	}
+
+	if got := f.Transitions(); got != 2 {
+		t.Fatalf("statistics reset by Reconfigure: %d transitions, want 2", got)
+	}
+	if f.TotalTime() < f.MaxTime() || f.MaxTime() <= 0 {
+		t.Fatalf("implausible cumulative stats: total %v, max %v", f.TotalTime(), f.MaxTime())
+	}
+}
+
 func TestFlowSequentialSlower(t *testing.T) {
 	// Ablation: the overlapped flow must be faster than the serial one.
 	rOv := newRig(t)

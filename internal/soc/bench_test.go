@@ -30,6 +30,36 @@ func BenchmarkTickLoop(b *testing.B) {
 
 func highPinBench() Policy { return &testPolicy{index: 0, optimizedMRC: true} }
 
+// benchSteadyState runs a steady-state workload (single-phase SPEC,
+// stable governor decisions) with the tick memo on or off; the ticks/s
+// ratio between the two is the fast path's speedup.
+func benchSteadyState(b *testing.B, disableMemo bool) {
+	w, err := workload.SPEC("473.astar")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Workload = w
+	cfg.Policy = highPinBench()
+	cfg.Duration = 500 * sim.Millisecond
+	cfg.DisableTickMemo = disableMemo
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ticks := float64(cfg.Duration/cfg.SampleInterval) * float64(b.N)
+	b.ReportMetric(ticks/b.Elapsed().Seconds(), "ticks/s")
+}
+
+// BenchmarkTickLoopSteadyState measures the memoized fast path.
+func BenchmarkTickLoopSteadyState(b *testing.B) { benchSteadyState(b, false) }
+
+// BenchmarkTickLoopMemoOff resolves the fixpoint every tick — the
+// pre-memo behaviour, kept as the speedup reference.
+func BenchmarkTickLoopMemoOff(b *testing.B) { benchSteadyState(b, true) }
+
 // BenchmarkPlatformAssembly measures cold-start cost (MRC training,
 // component wiring) — relevant for sweep-style experiments that build
 // thousands of platforms.

@@ -6,6 +6,7 @@ import (
 
 	"sysscale/internal/cache"
 	"sysscale/internal/compute"
+	"sysscale/internal/dram"
 	"sysscale/internal/interconnect"
 	"sysscale/internal/memctrl"
 	"sysscale/internal/perfcounters"
@@ -83,32 +84,7 @@ func (p *Platform) run() (Result, error) {
 		pendingStall       sim.Time
 	)
 
-	// refLat caches each phase's reference loaded latency (computed at
-	// the boot/high point).
-	refLats := make(map[int]float64)
-	phaseIndex := func(t sim.Time) int {
-		total := cfg.Workload.TotalDuration()
-		if total <= 0 {
-			return 0
-		}
-		t %= total
-		for i, ph := range cfg.Workload.Phases {
-			if t < ph.Duration {
-				return i
-			}
-			t -= ph.Duration
-		}
-		return len(cfg.Workload.Phases) - 1
-	}
-	refLatOf := func(idx int, ph workload.Phase) float64 {
-		if l, ok := refLats[idx]; ok {
-			return l
-		}
-		static := p.ioeng.CSR().StaticBandwidth()
-		ep := p.refMC.Evaluate(static + ph.MemBW)
-		refLats[idx] = ep.Latency
-		return ep.Latency
-	}
+	cursor := newPhaseCursor(cfg.Workload)
 
 	nTicks := int(cfg.Duration / tick)
 	if nTicks < 1 {
@@ -120,12 +96,12 @@ func (p *Platform) run() (Result, error) {
 	if _, _, err := p.applyPBM(firstPhase, 0, 0); err != nil {
 		return Result{}, err
 	}
+	p.refreshTickMemo()
 
 	for i := 0; i < nTicks; i++ {
 		now := p.clock.Now()
-		idx := phaseIndex(now)
-		ph := cfg.Workload.Phases[idx]
-		refLat := refLatOf(idx, ph)
+		idx := cursor.index()
+		ph := cursor.phase()
 
 		// Policy evaluation at interval boundaries.
 		if i%evalEvery == 0 {
@@ -169,9 +145,10 @@ func (p *Platform) run() (Result, error) {
 			p.counters.ResetWindow()
 			ioMemPowerInterval = 0
 			intervalTicks = 0
+			p.refreshTickMemo()
 		}
 
-		ev := p.evalTick(ph, refLat)
+		ev := p.tickEvalFor(idx, ph)
 
 		// Charge DVFS stall time against this tick's progress.
 		stallFrac := 0.0
@@ -229,11 +206,12 @@ func (p *Platform) run() (Result, error) {
 			res.PowerTrace = append(res.PowerTrace, float64(tot))
 		}
 
-		res.PointResidency[p.ladderIndex()] += tickSec
+		res.PointResidency[p.currentIdx] += tickSec
 		coreFreqSum += float64(p.cores.Frequency())
 		gfxFreqSum += float64(p.gfx.Frequency())
 
 		p.clock.Advance()
+		cursor.advance(tick)
 	}
 
 	elapsed := cfg.Duration.Seconds()
@@ -249,9 +227,9 @@ func (p *Platform) run() (Result, error) {
 	for i := 0; i < vf.NumRails; i++ {
 		res.RailAvg[i] = p.meters.Rail(vf.RailID(i)).Average()
 	}
-	res.Transitions = p.flowAgg.n
-	res.TransitionTime = p.flowAgg.total
-	res.MaxTransition = p.flowAgg.max
+	res.Transitions = p.flow.Transitions()
+	res.TransitionTime = p.flow.TotalTime()
+	res.MaxTransition = p.flow.MaxTime()
 	for i := range res.PointResidency {
 		res.PointResidency[i] /= elapsed
 	}
@@ -291,41 +269,24 @@ func (p *Platform) executeDecision(dec PolicyDecision) error {
 }
 
 // maybeTransition runs the Fig. 5 flow when the target point differs
-// from the current one, honoring the decision's MRC mode.
+// from the current one, honoring the decision's MRC mode. The platform
+// owns one persistent flow, allocated at assembly and reconfigured per
+// decision, so cumulative transition statistics accrue natively on it
+// and the hot loop allocates nothing per transition.
 func (p *Platform) maybeTransition(now sim.Time, dec PolicyDecision) (sim.Time, error) {
 	if dec.Target.Name == "" || dec.Target == p.current {
 		return 0, nil
 	}
 	opts := pmu.DefaultFlowOptions(p.cfg.Ladder[0].DDR)
 	opts.OptimizedMRC = dec.OptimizedMRC
-	flow, err := pmu.NewFlow(p.rails, p.fabric, p.mc, p.dev, p.store, p.log, opts)
+	p.flow.Reconfigure(opts)
+	stall, err := p.flow.Transition(now, dec.Target)
 	if err != nil {
 		return 0, err
 	}
-	// Keep cumulative stats on the platform flow by reusing it when the
-	// options match the default; otherwise account manually.
-	stall, err := flow.Transition(now, dec.Target)
-	if err != nil {
-		return 0, err
-	}
-	p.flowStats(flow)
 	p.current = dec.Target
+	p.currentIdx = p.ladderIndex()
 	return stall, nil
-}
-
-// flowStats folds a transient flow's statistics into the platform's.
-type flowCounter struct {
-	n     int
-	total sim.Time
-	max   sim.Time
-}
-
-func (p *Platform) flowStats(f *pmu.Flow) {
-	p.flowAgg.n += f.Transitions()
-	p.flowAgg.total += f.TotalTime()
-	if f.MaxTime() > p.flowAgg.max {
-		p.flowAgg.max = f.MaxTime()
-	}
 }
 
 // applyPBM converts the current budgets into compute P-states for the
@@ -398,6 +359,105 @@ func (p *Platform) ladderIndex() int {
 }
 
 // --- per-tick evaluation ---
+
+// tickProg captures every piece of programmable platform state that
+// feeds evalTick. Between policy decisions nothing in it changes, so
+// the fixpoint resolves to an identical tickEval for a given phase —
+// that is what makes the steady-state tick memo sound. The struct is
+// comparable; equality of two snapshots means evalTick is a pure
+// function of the phase index alone.
+type tickProg struct {
+	// point determines the MC/fabric/DRAM clocks and rail voltages.
+	point vf.OperatingPoint
+	// timing is the live DRAM register image: an optimized image and a
+	// detuned boot image at the same point evaluate differently
+	// (Observation 4), so the image itself is part of the key.
+	timing dram.Timing
+	// coreEff and gfxF are the compute clocks the fixpoint slows
+	// against (effective frequency folds in the HDC duty cycle).
+	coreEff vf.Hz
+	gfxF    vf.Hz
+	// bonus and the domain budget programming feed evalTick only
+	// through the granted P-states above, but are included so any
+	// executeDecision/applyPBM reprogramming conservatively
+	// invalidates.
+	bonus   power.Watt
+	ioB     power.Watt
+	memB    power.Watt
+}
+
+// programming snapshots the current tick-evaluation inputs.
+func (p *Platform) programming() tickProg {
+	return tickProg{
+		point:   p.current,
+		timing:  p.dev.Timing(),
+		coreEff: p.cores.EffectiveFrequency(),
+		gfxF:    p.gfx.Frequency(),
+		bonus:   p.bonus,
+		ioB:     p.budget.IO(),
+		memB:    p.budget.Memory(),
+	}
+}
+
+// refreshTickMemo re-snapshots the programming state after the
+// decision path (executeDecision, maybeTransition, applyPBM) ran, and
+// invalidates the per-phase memo if anything actually changed.
+// Reprogramming identical values keeps the memo warm — the steady
+// state — so between decisions, and across decisions that do not move
+// the platform, each phase's fixpoint is resolved exactly once.
+func (p *Platform) refreshTickMemo() {
+	prog := p.programming()
+	if p.tickValid != nil && prog == p.tickProg {
+		return
+	}
+	p.tickProg = prog
+	if p.tickValid == nil {
+		n := len(p.cfg.Workload.Phases)
+		p.tickMemo = make([]tickEval, n)
+		p.tickValid = make([]bool, n)
+		return
+	}
+	for i := range p.tickValid {
+		p.tickValid[i] = false
+	}
+}
+
+// tickEvalFor returns the tick evaluation for phase idx, serving it
+// from the memo when the programming snapshot is unchanged.
+//
+// A memo hit must leave the platform in the same state a fresh
+// evalTick would: evalTick's only side effects are the components'
+// rolling last-evaluated epochs, and the fabric's feeds the drain
+// latency of the next DVFS transition. Restore all three so memoized
+// and per-tick runs stay bit-identical.
+func (p *Platform) tickEvalFor(idx int, ph workload.Phase) tickEval {
+	if !p.cfg.DisableTickMemo && p.tickValid[idx] {
+		ev := p.tickMemo[idx]
+		p.mc.RestoreEpoch(ev.mcEp)
+		p.fabric.RestoreEpoch(ev.fabEp)
+		p.llc.RestoreEpoch(ev.llcEp)
+		return ev
+	}
+	p.evalCalls++
+	ev := p.evalTick(ph, p.refLatOf(idx, ph))
+	if !p.cfg.DisableTickMemo {
+		p.tickMemo[idx] = ev
+		p.tickValid[idx] = true
+	}
+	return ev
+}
+
+// refLatOf returns phase idx's reference loaded latency (computed once
+// at the boot/high point and cached for the whole run).
+func (p *Platform) refLatOf(idx int, ph workload.Phase) float64 {
+	if l, ok := p.refLats[idx]; ok {
+		return l
+	}
+	static := p.ioeng.CSR().StaticBandwidth()
+	ep := p.refMC.Evaluate(static + ph.MemBW)
+	p.refLats[idx] = ep.Latency
+	return ep.Latency
+}
 
 // evalTick resolves the tick's progress-rate fixpoint and component
 // epochs for the active (C0) scenario, plus the C2 (static-only)

@@ -128,6 +128,12 @@ type Config struct {
 	RecordEvents bool
 	// TracePower records a per-tick package power trace in the result.
 	TracePower bool
+
+	// DisableTickMemo turns off the steady-state tick memo and resolves
+	// the progress-rate fixpoint on every tick. Results are bit-identical
+	// either way (the memo is keyed by every input that feeds the
+	// evaluation); the knob exists for A/B verification and benchmarks.
+	DisableTickMemo bool
 }
 
 // DefaultConfig returns the Table 2 platform: 4.5W TDP, LPDDR3-1600,
@@ -206,8 +212,22 @@ type Platform struct {
 	refMC *memctrl.Controller
 
 	current vf.OperatingPoint
-	bonus   power.Watt
-	flowAgg flowCounter
+	// currentIdx caches the ladder index of current, so the hot loop's
+	// residency accounting does not rescan the ladder every tick.
+	currentIdx int
+	bonus      power.Watt
+
+	// refLats caches each phase's reference loaded latency (computed at
+	// the boot/high point, constant for the whole run).
+	refLats map[int]float64
+
+	// Steady-state tick memo (run.go): one resolved tickEval per phase,
+	// valid while tickProg — the programmable state feeding evalTick —
+	// is unchanged. evalCalls counts full fixpoint evaluations.
+	tickProg  tickProg
+	tickMemo  []tickEval
+	tickValid []bool
+	evalCalls int
 }
 
 // NewPlatform assembles an SoC without running it, for callers that
@@ -222,7 +242,7 @@ func newPlatform(cfg Config) (*Platform, error) {
 	}
 	boot := cfg.Ladder[0]
 
-	p := &Platform{cfg: cfg, current: boot}
+	p := &Platform{cfg: cfg, current: boot, refLats: make(map[int]float64)}
 	p.clock = sim.NewClock(cfg.SampleInterval)
 	p.rails = vf.DefaultRails()
 	if cfg.RecordEvents {

@@ -42,6 +42,12 @@
 // engine: sysscale.NewEngine(sysscale.WithParallelism(4)).RunBatch(...).
 // Repeated configurations (baselines shared across comparisons) are
 // simulated once and served from the engine's result cache afterwards.
+//
+// Inside a run, the simulator memoizes the per-tick fixpoint
+// evaluation while the platform programming is unchanged between PMU
+// decisions (the steady-state fast path). Results are bit-identical
+// with the memo on or off; Config.DisableTickMemo forces the per-tick
+// evaluation for A/B verification and benchmarking.
 package sysscale
 
 import (
