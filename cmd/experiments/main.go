@@ -3,12 +3,20 @@
 // Usage:
 //
 //	experiments [-run name] [-fig6n N] [-parallel N]
+//	experiments -montecarlo [-seed S] [-n N] [-parallel N]
 //
 // With no flags it runs the full set in paper order. -run selects one
 // experiment by name (table1, table2, fig2, fig3, fig4, fig5, fig6,
-// fig7, fig8, fig9, fig10, sensitivity, cost, ablations, calibrate).
-// -parallel bounds the simulation worker pool (0, the default, uses
-// GOMAXPROCS; 1 forces sequential execution).
+// fig7, fig8, fig9, fig10, sensitivity, cost, ablations, calibrate,
+// montecarlo). -parallel bounds the simulation worker pool (0, the
+// default, uses GOMAXPROCS; 1 forces sequential execution).
+//
+// -montecarlo runs the stochastic robustness sweep instead of the
+// paper set: -n workloads generated from -seed (see
+// internal/workload/gen), each simulated under the baseline and the
+// three closed-loop policies, reported as per-policy outcome
+// distributions. The sweep is bit-identical for a given (seed, n) at
+// any -parallel level.
 package main
 
 import (
@@ -24,9 +32,21 @@ func main() {
 	runName := flag.String("run", "", "run a single experiment by name")
 	fig6n := flag.Int("fig6n", 0, "workloads per Fig. 6 panel (0 = paper scale, 180)")
 	parallel := flag.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS, 1 = sequential)")
+	montecarlo := flag.Bool("montecarlo", false, "run the Monte Carlo robustness sweep")
+	seed := flag.Uint64("seed", 1, "Monte Carlo workload-generator seed")
+	mcN := flag.Int("n", 100, "Monte Carlo generated workload count")
 	flag.Parse()
 	if *parallel != 0 {
 		experiments.SetParallelism(*parallel)
+	}
+	if *montecarlo {
+		*runName = "montecarlo"
+	}
+	mcFn := func() (fmt.Stringer, error) {
+		opt := experiments.DefaultMonteCarloOptions()
+		opt.Seed = *seed
+		opt.N = *mcN
+		return experiments.MonteCarlo(opt)
 	}
 
 	type exp struct {
@@ -76,10 +96,16 @@ func main() {
 		{"cost", func() (fmt.Stringer, error) { return experiments.ImplementationCost() }},
 		{"ablations", func() (fmt.Stringer, error) { return experiments.Ablations() }},
 		{"calibrate", func() (fmt.Stringer, error) { return experiments.Calibrate(0, 7) }},
+		{"montecarlo", mcFn},
 	}
 
 	for _, e := range all {
 		if *runName != "" && e.name != *runName {
+			continue
+		}
+		if e.name == "montecarlo" && *runName == "" {
+			// The stochastic sweep is opt-in: the default invocation
+			// reproduces the paper set only.
 			continue
 		}
 		start := time.Now()

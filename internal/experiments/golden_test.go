@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden-results regression harness: the headline numbers of the
+// motivation study (Fig. 2a) and the main results (Figs. 7 and 8) are
+// snapshotted as JSON under testdata/golden. Every test run re-derives
+// them and requires byte-for-byte equality with the committed
+// snapshots, so a performance optimization (like the tick memo of the
+// steady-state fast path) is checked against recorded results rather
+// than only against its own A/B self-consistency — any change that
+// perturbs simulation outcomes, however subtly, fails loudly here.
+//
+// The comparison is exact: the simulator is a pure, deterministic
+// float64 computation, so on a given architecture the results are
+// bit-stable. After an *intentional* model change, regenerate with
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// and review the snapshot diff like any other code change.
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden result snapshots")
+
+// goldenPath returns the snapshot location for a name.
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".json")
+}
+
+// checkGolden marshals got (indented, deterministic) and compares it
+// byte-for-byte against the committed snapshot, rewriting the snapshot
+// under -update.
+func checkGolden(t *testing.T, name string, got any) {
+	t.Helper()
+	cur, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal %s: %v", name, err)
+	}
+	cur = append(cur, '\n')
+	path := goldenPath(name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, cur, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s (run with -update to create it): %v", path, err)
+	}
+	if bytes.Equal(cur, want) {
+		return
+	}
+	// Locate the first differing line for a readable failure.
+	curLines := bytes.Split(cur, []byte("\n"))
+	wantLines := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(curLines) && i < len(wantLines); i++ {
+		if !bytes.Equal(curLines[i], wantLines[i]) {
+			t.Fatalf("%s: results drifted from golden snapshot at line %d:\n  golden: %s\n  got:    %s\n(rerun with -update only if the change is intentional)",
+				path, i+1, wantLines[i], curLines[i])
+		}
+	}
+	t.Fatalf("%s: results drifted from golden snapshot (length %d vs %d lines)",
+		path, len(wantLines), len(curLines))
+}
+
+func TestGoldenFig2a(t *testing.T) {
+	r, err := Fig2a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig2a", r)
+}
+
+func TestGoldenFig7(t *testing.T) {
+	r, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig7", r)
+}
+
+func TestGoldenFig8(t *testing.T) {
+	r, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig8", r)
+}
+
+// TestGoldenMonteCarlo locks the default small Monte Carlo sweep
+// (25 workloads, seed 1): the generator stream, the engine batch
+// ordering and the statistics pipeline all feed this snapshot, so a
+// drift in any of them — not just the SoC model — is caught.
+func TestGoldenMonteCarlo(t *testing.T) {
+	opt := DefaultMonteCarloOptions()
+	opt.N = 25
+	r, err := MonteCarlo(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "montecarlo", r)
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sysscale/internal/policy"
+	"sysscale/internal/soc"
+	"sysscale/internal/stats"
+	"sysscale/internal/workload/gen"
+)
+
+// The Monte Carlo robustness suite: where the paper's figures evaluate
+// the policies on ~40 hand-characterized workloads, this experiment
+// fans a seeded stochastic population of generated workloads (see
+// internal/workload/gen) × every policy through the run engine and
+// reports per-policy outcome *distributions*. The question it answers
+// is the one a static suite cannot: does SysScale's advantage hold
+// across the whole scenario space, and what do the tails look like —
+// how bad is the worst generated scenario for each policy?
+//
+// The sweep is deterministic end to end: the generator stream is fixed
+// by the seed, the engine returns results in input order whatever the
+// worker count, and the statistics are computed over input-ordered
+// slices. Identical (seed, n) settings produce bit-identical reports
+// at any parallelism level.
+
+// MonteCarloOptions parameterizes the sweep.
+type MonteCarloOptions struct {
+	// N is the number of generated workloads (default 100).
+	N int
+	// Seed drives the workload generator (default 1).
+	Seed uint64
+	// Gen overrides the full generator configuration. Nil means
+	// gen.DefaultConfig(Seed); when set, its Seed field wins (a zero
+	// Gen.Seed falls back to Seed). The sweep's effective seed is
+	// echoed in MonteCarloResult.Seed either way.
+	Gen *gen.Config
+	// Policies are the governors compared against the baseline
+	// (default: SysScale, MemScale-Redist, CoScale-Redist).
+	Policies []soc.Policy
+}
+
+// DefaultMonteCarloOptions returns the default sweep: 100 workloads,
+// seed 1, the three closed-loop policies of Figs. 7-9.
+func DefaultMonteCarloOptions() MonteCarloOptions {
+	return MonteCarloOptions{N: 100, Seed: 1}
+}
+
+func (o MonteCarloOptions) withDefaults() MonteCarloOptions {
+	if o.N <= 0 {
+		o.N = 100
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Policies == nil {
+		o.Policies = []soc.Policy{
+			policy.NewSysScaleDefault(),
+			policy.NewMemScaleRedist(),
+			policy.NewCoScaleRedist(),
+		}
+	}
+	return o
+}
+
+// MonteCarloPolicy is one policy's outcome distribution over the
+// generated population, all relative to the per-workload baseline run.
+type MonteCarloPolicy struct {
+	Name string
+	// Perf is the distribution of performance improvement, Power of
+	// average-power reduction, Energy of per-work energy reduction and
+	// EDP of EDP improvement (positive = better throughout).
+	Perf   stats.Summary
+	Power  stats.Summary
+	Energy stats.Summary
+	EDP    stats.Summary
+	// Regressions counts workloads where the policy lost more than 1%
+	// performance versus baseline; Worst* identify the workload with
+	// the largest loss (seed + index make it reproducible standalone).
+	Regressions int
+	WorstPerf   float64
+	WorstName   string
+}
+
+// MonteCarloResult is the sweep outcome.
+type MonteCarloResult struct {
+	N        int
+	Seed     uint64
+	Policies []MonteCarloPolicy
+	// PerfMetRate is the fraction of (workload, policy) runs whose
+	// fixed-performance demands were met (battery-like scenarios).
+	PerfMetRate float64
+}
+
+// MonteCarlo runs the robustness sweep: N generated workloads × (1 +
+// len(Policies)) governors as one engine batch.
+func MonteCarlo(opt MonteCarloOptions) (MonteCarloResult, error) {
+	opt = opt.withDefaults()
+
+	gcfg := gen.DefaultConfig(opt.Seed)
+	if opt.Gen != nil {
+		gcfg = *opt.Gen
+		if gcfg.Seed == 0 {
+			gcfg.Seed = opt.Seed
+		}
+	}
+	res := MonteCarloResult{N: opt.N, Seed: gcfg.Seed}
+	if err := gcfg.Validate(); err != nil {
+		return res, err
+	}
+	ws := gen.GenerateN(gcfg, opt.N)
+
+	ps := append([]soc.Policy{policy.NewBaseline()}, opt.Policies...)
+	m, err := runMatrix(ws, ps, nil)
+	if err != nil {
+		return res, err
+	}
+
+	var perfMet, runs int
+	for pi, p := range opt.Policies {
+		col := pi + 1 // column 0 is the baseline
+		mp := MonteCarloPolicy{Name: p.Name()}
+		perf := make([]float64, 0, opt.N)
+		power := make([]float64, 0, opt.N)
+		energy := make([]float64, 0, opt.N)
+		edp := make([]float64, 0, opt.N)
+		for wi := range ws {
+			base, r := m[wi][0], m[wi][col]
+			pv := soc.PerfImprovement(r, base)
+			perf = append(perf, pv)
+			power = append(power, soc.PowerReduction(r, base))
+			energy = append(energy, soc.EnergyReduction(r, base))
+			edp = append(edp, soc.EDPImprovement(r, base))
+			if pv < -0.01 {
+				mp.Regressions++
+			}
+			if wi == 0 || pv < mp.WorstPerf {
+				mp.WorstPerf = pv
+				mp.WorstName = ws[wi].Name
+			}
+			if r.PerfMet {
+				perfMet++
+			}
+			runs++
+		}
+		mp.Perf = stats.Summarize(perf)
+		mp.Power = stats.Summarize(power)
+		mp.Energy = stats.Summarize(energy)
+		mp.EDP = stats.Summarize(edp)
+		res.Policies = append(res.Policies, mp)
+	}
+	if runs > 0 {
+		res.PerfMetRate = float64(perfMet) / float64(runs)
+	}
+	return res, nil
+}
+
+func (r MonteCarloResult) String() string {
+	tab := stats.NewTable(
+		fmt.Sprintf("Monte Carlo robustness sweep: %d generated workloads (seed %d) vs baseline", r.N, r.Seed),
+		"Policy", "Perf mean", "Perf p5", "Perf p50", "Perf p95", "Power mean", "Energy mean", "EDP mean", "Regr", "Worst")
+	for _, p := range r.Policies {
+		tab.AddRow(p.Name,
+			pct(p.Perf.Mean), pct(p.Perf.P5), pct(p.Perf.P50), pct(p.Perf.P95),
+			pct(p.Power.Mean), pct(p.Energy.Mean), pct(p.EDP.Mean),
+			fmt.Sprintf("%d", p.Regressions),
+			fmt.Sprintf("%s %s", pct(p.WorstPerf), p.WorstName))
+	}
+	out := tab.String()
+	out += fmt.Sprintf("perf-demand met in %.0f%% of runs\n", 100*r.PerfMetRate)
+	return out
+}

@@ -58,6 +58,52 @@ func (r *RNG) Norm(mean, stddev float64) float64 {
 	return mean + stddev*z
 }
 
+// LogNormal returns a log-normally distributed value: exp(N(mu, sigma)).
+// Dwell times and demand intensities are drawn log-normally — strictly
+// positive, right-skewed, with occasional long tails — which matches
+// measured workload phase-length distributions far better than a
+// uniform or normal draw.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Norm(mu, sigma))
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	// Guard against log(0).
+	return -mean * math.Log(1-r.Float64())
+}
+
+// Pick returns an index drawn from the discrete distribution given by
+// weights (non-negative, not all zero). It panics on an invalid
+// distribution: generators validate their transition matrices up front.
+func (r *RNG) Pick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("sim: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("sim: zero-mass weight vector")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	// Float round-off can leave x at ~0 after the last subtraction;
+	// attribute it to the last positive-weight entry.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
 // Fork derives an independent generator from the current stream. Models
 // that need a private stream fork the run RNG at construction so that
 // adding draws to one model does not perturb another.

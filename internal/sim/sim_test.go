@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -146,6 +147,64 @@ func TestRNGNormMoments(t *testing.T) {
 	}
 	if variance < 3.6 || variance > 4.4 {
 		t.Fatalf("Norm variance = %v, want ~4", variance)
+	}
+}
+
+func TestRNGLogNormal(t *testing.T) {
+	r := NewRNG(6)
+	n := 20000
+	var sumLog float64
+	for i := 0; i < n; i++ {
+		v := r.LogNormal(2, 0.5)
+		if v <= 0 {
+			t.Fatalf("LogNormal returned non-positive %v", v)
+		}
+		sumLog += math.Log(v)
+	}
+	if mu := sumLog / float64(n); mu < 1.9 || mu > 2.1 {
+		t.Fatalf("LogNormal log-mean = %v, want ~2", mu)
+	}
+}
+
+func TestRNGExp(t *testing.T) {
+	r := NewRNG(7)
+	n := 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(3)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / float64(n); mean < 2.85 || mean > 3.15 {
+		t.Fatalf("Exp mean = %v, want ~3", mean)
+	}
+}
+
+func TestRNGPick(t *testing.T) {
+	r := NewRNG(8)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Pick([]float64{1, 2, 1})]++
+	}
+	if counts[1] < counts[0] || counts[1] < counts[2] {
+		t.Fatalf("Pick ignored weights: %v", counts)
+	}
+	for i := 0; i < 1000; i++ {
+		if got := r.Pick([]float64{0, 0, 5, 0}); got != 2 {
+			t.Fatalf("Pick chose zero-weight index %d", got)
+		}
+	}
+	for _, bad := range [][]float64{{0, 0}, {-1, 2}, {}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Pick(%v) did not panic", bad)
+				}
+			}()
+			r.Pick(bad)
+		}()
 	}
 }
 

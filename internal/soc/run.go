@@ -381,9 +381,9 @@ type tickProg struct {
 	// through the granted P-states above, but are included so any
 	// executeDecision/applyPBM reprogramming conservatively
 	// invalidates.
-	bonus   power.Watt
-	ioB     power.Watt
-	memB    power.Watt
+	bonus power.Watt
+	ioB   power.Watt
+	memB  power.Watt
 }
 
 // programming snapshots the current tick-evaluation inputs.

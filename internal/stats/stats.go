@@ -121,6 +121,27 @@ func Percentile(xs []float64, p float64) float64 {
 // Median returns the 50th percentile.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
+// Summary is the robustness-suite distribution digest: central
+// tendency (mean, median) plus both tails (p5, p95), the quantities
+// the Monte Carlo sweep reports per policy.
+type Summary struct {
+	Mean, P5, P50, P95 float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		Mean: Mean(xs),
+		P5:   Percentile(xs, 5),
+		P50:  Median(xs),
+		P95:  Percentile(xs, 95),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("mean %.3f / p5 %.3f / p50 %.3f / p95 %.3f", s.Mean, s.P5, s.P50, s.P95)
+}
+
 // ViolinSummary is the distribution summary the Fig. 10 violin plots
 // convey: extremes, quartiles, median and mean.
 type ViolinSummary struct {

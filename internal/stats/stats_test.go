@@ -113,6 +113,26 @@ func TestViolin(t *testing.T) {
 	}
 }
 
+func TestSummarize(t *testing.T) {
+	xs := []float64{0, 5, 10, 15, 20}
+	s := Summarize(xs)
+	if s.Mean != 10 || s.P50 != 10 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P5 > s.P50 || s.P50 > s.P95 {
+		t.Fatalf("percentiles out of order: %+v", s)
+	}
+	if s.P5 < 0 || s.P95 > 20 {
+		t.Fatalf("tails outside data range: %+v", s)
+	}
+	if !strings.Contains(s.String(), "p95") {
+		t.Fatalf("summary string = %q", s.String())
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
 func TestFitLinearRecovers(t *testing.T) {
 	// y = 3 + 2a - b must be recovered exactly from exact data.
 	var rows [][]float64

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeWorkload drives ReadJSON with arbitrary input: it must
+// never panic, and any input it accepts must (a) satisfy Validate —
+// ReadJSON is the trust boundary for workload files from disk — and
+// (b) round-trip stably: re-encoding and re-decoding an accepted
+// workload yields the identical value, so traces can be rewritten any
+// number of times without drifting.
+func FuzzDecodeWorkload(f *testing.F) {
+	// Seed the corpus with the wire encodings of real workloads from
+	// every suite, plus structured near-misses.
+	seedWorkloads := []Workload{Stream(), WebBrowsing(), VideoPlayback()}
+	if w, err := SPEC("473.astar"); err == nil {
+		seedWorkloads = append(seedWorkloads, w)
+	}
+	seedWorkloads = append(seedWorkloads, Synthetic(SyntheticSpec{Class: Graphics, Count: 1, Seed: 9})...)
+	for _, w := range seedWorkloads {
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, w); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Name":"x","Class":"cpu-st","Phases":[{"Duration":-1}]}`))
+	f.Add([]byte(`{"Name":"x","Class":"bogus","Phases":[]}`))
+	f.Add([]byte(`{"Name":"x","Class":"battery","Phases":[{"Duration":1000,"CoreFrac":2}]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := w.Validate(); verr != nil {
+			t.Fatalf("ReadJSON accepted an invalid workload: %v\ninput: %q", verr, data)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, w); err != nil {
+			t.Fatalf("re-encode of accepted workload failed: %v", err)
+		}
+		w2, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of accepted workload failed: %v\nencoded: %s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(w, w2) {
+			t.Fatalf("round trip unstable:\nfirst:  %+v\nsecond: %+v", w, w2)
+		}
+	})
+}

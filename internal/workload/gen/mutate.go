@@ -1,0 +1,145 @@
+package gen
+
+import (
+	"fmt"
+
+	"sysscale/internal/compute"
+	"sysscale/internal/sim"
+	"sysscale/internal/workload"
+)
+
+// A Mutator derives a perturbed workload from an existing one, drawing
+// any randomness from the supplied RNG. Mutators never modify their
+// input (phases are copied first) and must keep Validate-clean inputs
+// Validate-clean, so chains of mutators can be applied blindly to any
+// canonical or generated workload.
+type Mutator func(rng *sim.RNG, w workload.Workload) workload.Workload
+
+// Chain composes mutators left to right.
+func Chain(ms ...Mutator) Mutator {
+	return func(rng *sim.RNG, w workload.Workload) workload.Workload {
+		for _, m := range ms {
+			w = m(rng, w)
+		}
+		return w
+	}
+}
+
+// Apply runs the mutators over w with a fresh RNG seeded by seed.
+func Apply(w workload.Workload, seed uint64, ms ...Mutator) workload.Workload {
+	return Chain(ms...)(sim.NewRNG(seed), w)
+}
+
+// Family derives n mutated variants of base — a scenario family. Each
+// variant draws from an RNG forked off one seeded master stream (the
+// same extension-stable scheme as GenerateN) and is named
+// "<base>~f<i>".
+func Family(base workload.Workload, seed uint64, n int, ms ...Mutator) []workload.Workload {
+	master := sim.NewRNG(seed)
+	mut := Chain(ms...)
+	out := make([]workload.Workload, 0, n)
+	for i := 0; i < n; i++ {
+		rng := master.Fork()
+		v := mut(rng, base)
+		v.Name = fmt.Sprintf("%s~f%02d", base.Name, i)
+		out = append(out, v)
+	}
+	return out
+}
+
+// clonePhases returns a workload whose phase slice is private.
+func clonePhases(w workload.Workload) workload.Workload {
+	w.Phases = append([]workload.Phase(nil), w.Phases...)
+	return w
+}
+
+// SplitPhases splits each phase with probability prob into two
+// back-to-back sub-phases at a jittered cut point (25-75% of the
+// duration). The demand profile over time is unchanged; only the phase
+// granularity the PMU algorithm observes gets finer.
+func SplitPhases(prob float64) Mutator {
+	return func(rng *sim.RNG, w workload.Workload) workload.Workload {
+		out := w
+		out.Phases = make([]workload.Phase, 0, len(w.Phases))
+		for _, p := range w.Phases {
+			if rng.Float64() >= prob || p.Duration < 2*sim.Millisecond {
+				out.Phases = append(out.Phases, p)
+				continue
+			}
+			cut := sim.Time(float64(p.Duration) * rng.Range(0.25, 0.75))
+			cut = cut / sim.Millisecond * sim.Millisecond
+			if cut < sim.Millisecond {
+				cut = sim.Millisecond
+			}
+			if cut >= p.Duration {
+				cut = p.Duration / 2
+			}
+			a, b := p, p
+			a.Duration = cut
+			b.Duration = p.Duration - cut
+			out.Phases = append(out.Phases, a, b)
+		}
+		return out
+	}
+}
+
+// JitterDurations scales every phase duration by an independent uniform
+// factor in [1-frac, 1+frac], quantized to 1ms with a 1ms floor.
+func JitterDurations(frac float64) Mutator {
+	return func(rng *sim.RNG, w workload.Workload) workload.Workload {
+		out := clonePhases(w)
+		for i := range out.Phases {
+			d := sim.Time(float64(out.Phases[i].Duration) * rng.Range(1-frac, 1+frac))
+			d = d / sim.Millisecond * sim.Millisecond
+			if d < sim.Millisecond {
+				d = sim.Millisecond
+			}
+			out.Phases[i].Duration = d
+		}
+		return out
+	}
+}
+
+// ScaleBW multiplies every phase's memory and IO bandwidth demand by
+// one factor drawn uniformly from [lo, hi] — shifting a whole scenario
+// toward or away from bandwidth saturation.
+func ScaleBW(lo, hi float64) Mutator {
+	return func(rng *sim.RNG, w workload.Workload) workload.Workload {
+		s := rng.Range(lo, hi)
+		out := clonePhases(w)
+		for i := range out.Phases {
+			out.Phases[i].MemBW *= s
+			out.Phases[i].IOBW *= s
+		}
+		return out
+	}
+}
+
+// InjectIdle inserts a deep-idle phase (duration dwell, mostly-C8
+// residency, minimal demand) after each phase with probability prob —
+// turning throughput scenarios into battery-like duty-cycled ones.
+func InjectIdle(prob float64, dwell sim.Time) Mutator {
+	if dwell < sim.Millisecond {
+		dwell = sim.Millisecond
+	}
+	return func(rng *sim.RNG, w workload.Workload) workload.Workload {
+		out := w
+		out.Phases = make([]workload.Phase, 0, len(w.Phases))
+		for _, p := range w.Phases {
+			out.Phases = append(out.Phases, p)
+			if rng.Float64() >= prob {
+				continue
+			}
+			out.Phases = append(out.Phases, workload.Phase{
+				Duration:     dwell,
+				CoreFrac:     0.10,
+				MemLatFrac:   0.04,
+				MemBW:        rng.Range(0.05, 0.4) * 1e9,
+				ActiveCores:  1,
+				CoreActivity: 0.15,
+				Residency:    compute.Residency{C0: 0.04, C2: 0.02, C6: 0.10, C8: 0.84},
+			})
+		}
+		return out
+	}
+}

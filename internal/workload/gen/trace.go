@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+
+	"sysscale/internal/workload"
+)
+
+// TraceVersion is the current trace wire-format version.
+const TraceVersion = 1
+
+// Trace is the persistable record of a generated scenario set: the
+// workloads themselves (in workload's JSON wire format) plus, when the
+// set came from the generator, the Config that produced them. Carrying
+// both makes a trace self-verifying: Replay regenerates from the
+// recorded Config and checks the result against the recorded
+// workloads, catching any drift in the generator's stream (an RNG
+// change, a distribution tweak) before it silently invalidates shared
+// scenario files.
+type Trace struct {
+	Version   int                 `json:"version"`
+	Generator *Config             `json:"generator,omitempty"`
+	Workloads []workload.Workload `json:"workloads"`
+}
+
+// NewTrace records n workloads generated from cfg, with provenance.
+func NewTrace(cfg Config, n int) Trace {
+	cfg = cfg.withDefaults()
+	return Trace{
+		Version:   TraceVersion,
+		Generator: &cfg,
+		Workloads: GenerateN(cfg, n),
+	}
+}
+
+// WriteTrace encodes a trace (indented) to w.
+func WriteTrace(w io.Writer, t Trace) error {
+	if t.Version == 0 {
+		t.Version = TraceVersion
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTrace decodes and validates one trace from r. Every recorded
+// workload must be Validate-clean and the generator config (when
+// present) well-formed; replay verification is separate (Replay) so
+// readers that only want the recorded workloads don't pay for
+// regeneration.
+func ReadTrace(r io.Reader) (Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return Trace{}, fmt.Errorf("gen: decode trace: %w", err)
+	}
+	if t.Version != TraceVersion {
+		return Trace{}, fmt.Errorf("gen: unsupported trace version %d", t.Version)
+	}
+	for i, w := range t.Workloads {
+		if err := w.Validate(); err != nil {
+			return Trace{}, fmt.Errorf("gen: trace workload %d: %w", i, err)
+		}
+	}
+	if t.Generator != nil {
+		if err := t.Generator.Validate(); err != nil {
+			return Trace{}, err
+		}
+	}
+	return t, nil
+}
+
+// Replay returns the trace's workloads. When the trace carries
+// generator provenance, the workloads are regenerated from the
+// recorded Config and verified against the recorded set; a mismatch
+// means the generator's stream has drifted since the trace was
+// written, and the recorded workloads can no longer be reproduced from
+// their seed. Regeneration is bit-exact on the architecture/toolchain
+// that wrote the trace; when replaying on a different architecture a
+// mismatch can also reflect float-evaluation differences (FMA
+// contraction) rather than true drift — the recorded workloads
+// themselves remain the authoritative scenario set either way.
+func (t Trace) Replay() ([]workload.Workload, error) {
+	if t.Generator == nil {
+		return t.Workloads, nil
+	}
+	regen := GenerateN(*t.Generator, len(t.Workloads))
+	for i := range regen {
+		if !reflect.DeepEqual(regen[i], t.Workloads[i]) {
+			return nil, fmt.Errorf("gen: replay mismatch at workload %d (%s): generator stream drifted from recorded trace",
+				i, t.Workloads[i].Name)
+		}
+	}
+	return t.Workloads, nil
+}

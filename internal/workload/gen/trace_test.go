@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := NewTrace(DefaultConfig(17), 6)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatal("trace round trip lost information")
+	}
+	// The round-tripped trace must still replay exactly: the JSON wire
+	// format preserves every float bit the generator emitted.
+	ws, err := back.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 6 {
+		t.Fatalf("replay returned %d workloads", len(ws))
+	}
+}
+
+func TestTraceReplayDetectsDrift(t *testing.T) {
+	tr := NewTrace(DefaultConfig(23), 3)
+	tr.Workloads[1].Phases[0].MemBW *= 1.001 // simulate generator drift
+	if _, err := tr.Replay(); err == nil {
+		t.Fatal("tampered trace replayed without error")
+	}
+}
+
+func TestTraceWithoutProvenance(t *testing.T) {
+	tr := Trace{Version: TraceVersion, Workloads: GenerateN(DefaultConfig(29), 2)}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := back.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("got %d workloads", len(ws))
+	}
+}
+
+func TestTraceRejectsInvalid(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader(`{"version": 99, "workloads": []}`)); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader(
+		`{"version": 1, "workloads": [{"Name": "x", "Class": "cpu-st", "Phases": []}]}`)); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader(
+		`{"version": 1, "generator": {"seed": 1, "min_dwell": 5000000, "max_dwell": 1000000}, "workloads": []}`)); err == nil {
+		t.Fatal("invalid generator config accepted")
+	}
+}
+
+func TestWriteTraceFillsVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, Trace{Workloads: GenerateN(DefaultConfig(1), 1)}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != TraceVersion {
+		t.Fatalf("version %d", back.Version)
+	}
+}

@@ -58,6 +58,14 @@ func ReadJSON(r io.Reader) (Workload, error) {
 	return wl, nil
 }
 
+// WriteJSONList encodes a workload slice (indented) to w; the output
+// is readable back via ReadJSONList.
+func WriteJSONList(w io.Writer, wls []Workload) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wls)
+}
+
 // ReadJSONList decodes and validates a JSON array of workloads.
 func ReadJSONList(r io.Reader) ([]Workload, error) {
 	var wls []Workload

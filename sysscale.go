@@ -51,6 +51,8 @@
 package sysscale
 
 import (
+	"io"
+
 	"sysscale/internal/core"
 	"sysscale/internal/dram"
 	"sysscale/internal/engine"
@@ -61,6 +63,7 @@ import (
 	"sysscale/internal/soc"
 	"sysscale/internal/vf"
 	"sysscale/internal/workload"
+	"sysscale/internal/workload/gen"
 )
 
 // Core simulation types.
@@ -243,6 +246,54 @@ func BatterySuite() []Workload { return workload.BatterySuite() }
 
 // Stream returns the peak-bandwidth microbenchmark of §3/Fig. 4.
 func Stream() Workload { return workload.Stream() }
+
+// Stochastic workload generation (internal/workload/gen): seed-driven
+// Markov-model scenario synthesis, mutation-derived scenario families,
+// and the persistable JSON trace format. Identical GenConfigs produce
+// byte-identical workloads across runs and parallelism levels.
+type (
+	// GenConfig parameterizes the stochastic workload generator.
+	GenConfig = gen.Config
+	// GenClass is a generator workload class (the Markov state space).
+	GenClass = gen.Class
+	// GenMatrix is the Markov phase-transition matrix.
+	GenMatrix = gen.Matrix
+	// Mutator derives perturbed workloads from existing ones.
+	Mutator = gen.Mutator
+	// WorkloadTrace is a persistable generated scenario set with
+	// replayable generator provenance.
+	WorkloadTrace = gen.Trace
+)
+
+// DefaultGenConfig returns the default generator parameters for a seed.
+func DefaultGenConfig(seed uint64) GenConfig { return gen.DefaultConfig(seed) }
+
+// GenerateWorkload emits one workload from the configuration.
+func GenerateWorkload(cfg GenConfig) Workload { return gen.Generate(cfg) }
+
+// GenerateWorkloads emits n workloads from one configuration.
+func GenerateWorkloads(cfg GenConfig, n int) []Workload { return gen.GenerateN(cfg, n) }
+
+// MutateWorkloads derives n mutated variants of base (a scenario
+// family) by applying the mutators with per-variant forked RNGs.
+func MutateWorkloads(base Workload, seed uint64, n int, ms ...Mutator) []Workload {
+	return gen.Family(base, seed, n, ms...)
+}
+
+// The composable workload mutators. Each keeps Validate-clean
+// workloads Validate-clean, so chains apply to any workload.
+func SplitPhases(prob float64) Mutator            { return gen.SplitPhases(prob) }
+func JitterDurations(frac float64) Mutator        { return gen.JitterDurations(frac) }
+func ScaleBW(lo, hi float64) Mutator              { return gen.ScaleBW(lo, hi) }
+func InjectIdle(prob float64, dwell Time) Mutator { return gen.InjectIdle(prob, dwell) }
+func ChainMutators(ms ...Mutator) Mutator         { return gen.Chain(ms...) }
+
+// NewWorkloadTrace records n generated workloads with provenance.
+func NewWorkloadTrace(cfg GenConfig, n int) WorkloadTrace { return gen.NewTrace(cfg, n) }
+
+// WriteWorkloadTrace / ReadWorkloadTrace persist traces as JSON.
+func WriteWorkloadTrace(w io.Writer, t WorkloadTrace) error { return gen.WriteTrace(w, t) }
+func ReadWorkloadTrace(r io.Reader) (WorkloadTrace, error)  { return gen.ReadTrace(r) }
 
 // HighPoint and LowPoint return the paper's two shipped operating
 // points (Table 1).

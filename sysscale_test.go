@@ -1,6 +1,7 @@
 package sysscale_test
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -183,5 +184,63 @@ func TestCustomPolicy(t *testing.T) {
 	}
 	if res.PointResidency[1] < 0.9 {
 		t.Fatalf("custom policy not honored: low residency %.2f", res.PointResidency[1])
+	}
+}
+
+// TestGeneratorThroughPublicAPI drives the stochastic workload
+// generator, the mutators and the trace format exactly as a downstream
+// user would: generate a population, derive a family, persist it, read
+// it back, replay it, and simulate a generated workload.
+func TestGeneratorThroughPublicAPI(t *testing.T) {
+	cfg := sysscale.DefaultGenConfig(77)
+	ws := sysscale.GenerateWorkloads(cfg, 5)
+	if len(ws) != 5 {
+		t.Fatalf("got %d workloads", len(ws))
+	}
+	if !reflect.DeepEqual(ws, sysscale.GenerateWorkloads(cfg, 5)) {
+		t.Fatal("generation not deterministic through the public API")
+	}
+
+	fam := sysscale.MutateWorkloads(ws[0], 3, 4,
+		sysscale.SplitPhases(0.5),
+		sysscale.JitterDurations(0.2),
+		sysscale.ScaleBW(0.8, 1.4),
+		sysscale.InjectIdle(0.3, 50*sysscale.Millisecond),
+	)
+	if len(fam) != 4 {
+		t.Fatalf("family size %d", len(fam))
+	}
+	for _, v := range fam {
+		if err := v.Validate(); err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := sysscale.WriteWorkloadTrace(&buf, sysscale.NewWorkloadTrace(cfg, 3)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sysscale.ReadWorkloadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := tr.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed, ws[:3]) {
+		t.Fatal("trace replay differs from direct generation")
+	}
+
+	run := sysscale.DefaultConfig()
+	run.Workload = ws[0]
+	run.Policy = sysscale.NewSysScale()
+	run.Duration = ws[0].TotalDuration()
+	res, err := sysscale.Run(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score <= 0 {
+		t.Fatalf("generated workload scored %v", res.Score)
 	}
 }
