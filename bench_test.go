@@ -238,7 +238,9 @@ func engineSweepConfigs(b *testing.B) []sysscale.Config {
 }
 
 // benchEngineSweep runs the sweep with the given worker bound, caching
-// disabled so every iteration measures real simulation work.
+// disabled so every iteration measures real simulation work (including
+// the pooled-platform reuse path: allocs/op here is the per-batch
+// allocation bill the pool is meant to shrink).
 func benchEngineSweep(b *testing.B, workers int) {
 	cfgs := engineSweepConfigs(b)
 	jobs := make([]sysscale.Job, len(cfgs))
@@ -246,6 +248,7 @@ func benchEngineSweep(b *testing.B, workers int) {
 		jobs[i] = sysscale.Job{Config: c}
 	}
 	eng := sysscale.NewEngine(sysscale.WithParallelism(workers), sysscale.WithCache(false))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.RunBatch(jobs); err != nil {
@@ -263,6 +266,28 @@ func BenchmarkEngineSequential(b *testing.B) { benchEngineSweep(b, 1) }
 // core; the runs/s ratio to BenchmarkEngineSequential is the engine's
 // speedup (≈ core count on a multi-core machine).
 func BenchmarkEngineParallel(b *testing.B) { benchEngineSweep(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkMonteCarlo runs a reduced Monte Carlo robustness sweep (25
+// generated workloads × 4 policies as one engine batch) — the
+// fleet-style load the span-batched core and platform pooling target,
+// and one of the three benchmark-regression-gate trajectories.
+func BenchmarkMonteCarlo(b *testing.B) {
+	var regress int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opt := experiments.DefaultMonteCarloOptions()
+		opt.N = 25
+		r, err := experiments.MonteCarlo(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		regress = 0
+		for _, p := range r.Policies {
+			regress += p.Regressions
+		}
+	}
+	b.ReportMetric(float64(regress), "regressions")
+}
 
 // BenchmarkSimulatorTick measures raw simulator throughput: simulated
 // milliseconds per wall-clock second on a single workload/policy pair.

@@ -1,0 +1,189 @@
+// Command benchgate is the benchmark-regression gate: it parses
+// `go test -bench` output and compares ns/op (and allocs/op, for
+// reporting) against a committed baseline snapshot, failing when a
+// gated benchmark regresses beyond the tolerance.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem ./... | go run ./cmd/benchgate -baseline BENCH_baseline.json
+//	go test -run '^$' -bench ... -benchmem ./... | go run ./cmd/benchgate -baseline BENCH_baseline.json -update
+//
+// The baseline records one entry per benchmark (ns/op + allocs/op)
+// plus a trajectory of historical measurements. -update rewrites the
+// current entries (appending the previous ones to the trajectory);
+// without it, any gated benchmark whose measured ns/op exceeds
+// baseline × (1 + tolerance) fails the gate with exit status 1.
+// Benchmarks present in the input but not in the baseline are
+// reported and pass (the gate only guards known trajectories);
+// baseline entries missing from the input are skipped, so the gate
+// can run on a benchmark subset.
+//
+// Absolute ns/op only compares within one machine class. For CI —
+// where the runner is not the machine that recorded the baseline —
+// -calibrate names a calibration benchmark measured in the same run
+// (a stable, optimization-free code path); every measured ns/op is
+// scaled by baselineCal/measuredCal before comparison, so the gate
+// tests the machine-relative ratio rather than raw nanoseconds.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's recorded performance.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the committed snapshot the gate compares against.
+type Baseline struct {
+	// Note documents how the numbers were taken (machine, benchtime).
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps benchmark name (without the -GOMAXPROCS suffix)
+	// to its gated numbers.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+	// Trajectory preserves earlier snapshots, newest last, so the
+	// performance history of the hot paths stays in the repository.
+	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
+}
+
+// TrajectoryPoint is one historical snapshot.
+type TrajectoryPoint struct {
+	Label      string           `json:"label"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench` result lines, e.g.
+//
+//	BenchmarkTickLoopSteadyState-8   20496   118640 ns/op   7210 B/op   97 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+var allocsField = regexp.MustCompile(`([0-9.]+) allocs/op`)
+
+func parseBench(lines *bufio.Scanner) map[string]Entry {
+	out := make(map[string]Entry)
+	for lines.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(lines.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{NsPerOp: ns}
+		if a := allocsField.FindStringSubmatch(m[3]); a != nil {
+			e.AllocsPerOp, _ = strconv.ParseFloat(a[1], 64)
+		}
+		// Repeated benchmarks (several packages, -count>1): keep the
+		// fastest run, the standard noise-robust choice.
+		if prev, ok := out[m[1]]; !ok || ns < prev.NsPerOp {
+			out[m[1]] = e
+		}
+	}
+	return out
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline snapshot path")
+	update := flag.Bool("update", false, "rewrite the baseline from the measured numbers")
+	label := flag.String("label", "", "trajectory label used with -update (e.g. \"PR 5\")")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed ns/op regression fraction before the gate fails")
+	calibrate := flag.String("calibrate", "", "benchmark used to normalize for machine speed (must be in the baseline and the input)")
+	flag.Parse()
+
+	measured := parseBench(bufio.NewScanner(os.Stdin))
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results on stdin")
+		os.Exit(1)
+	}
+
+	var base Baseline
+	raw, err := os.ReadFile(*baselinePath)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: parse %s: %v\n", *baselinePath, err)
+			os.Exit(1)
+		}
+	case os.IsNotExist(err) && *update:
+		// First snapshot.
+	default:
+		fmt.Fprintf(os.Stderr, "benchgate: read %s: %v\n", *baselinePath, err)
+		os.Exit(1)
+	}
+
+	if *update {
+		if base.Benchmarks != nil {
+			base.Trajectory = append(base.Trajectory, TrajectoryPoint{Label: base.Note, Benchmarks: base.Benchmarks})
+		}
+		base.Benchmarks = measured
+		if *label != "" {
+			base.Note = *label
+		}
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: baseline %s updated with %d benchmarks\n", *baselinePath, len(measured))
+		return
+	}
+
+	// Machine-speed normalization: scale every measurement by how much
+	// slower/faster this machine ran the calibration benchmark than the
+	// machine that recorded the baseline.
+	scale := 1.0
+	if *calibrate != "" {
+		calGot, okGot := measured[*calibrate]
+		calWant, okWant := base.Benchmarks[*calibrate]
+		if !okGot || !okWant || calGot.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: calibration benchmark %s missing from input or baseline\n", *calibrate)
+			os.Exit(1)
+		}
+		scale = calWant.NsPerOp / calGot.NsPerOp
+		fmt.Printf("  calibrated by %s: this machine is %.2fx the baseline machine\n", *calibrate, 1/scale)
+	}
+
+	names := make([]string, 0, len(measured))
+	for n := range measured {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		got := measured[name]
+		want, gated := base.Benchmarks[name]
+		if !gated {
+			fmt.Printf("  %-40s %12.0f ns/op  (ungated: not in baseline)\n", name, got.NsPerOp)
+			continue
+		}
+		ratio := got.NsPerOp * scale / want.NsPerOp
+		status := "ok"
+		if ratio > 1+*tolerance {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("  %-40s %12.0f ns/op  baseline %12.0f  (%+.1f%%, allocs %.0f vs %.0f) %s\n",
+			name, got.NsPerOp, want.NsPerOp, 100*(ratio-1), got.AllocsPerOp, want.AllocsPerOp, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: ns/op regression beyond %.0f%% against %s\n", 100**tolerance, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: pass")
+}

@@ -4,6 +4,11 @@
 //
 //	experiments [-run name] [-fig6n N] [-parallel N]
 //	experiments -montecarlo [-seed S] [-n N] [-parallel N]
+//	experiments -cpuprofile cpu.pprof -memprofile mem.pprof [...]
+//
+// -cpuprofile and -memprofile write pprof profiles of whatever
+// selection runs, so hot-path regressions can be diagnosed with
+// `go tool pprof` without editing code.
 //
 // With no flags it runs the full set in paper order. -run selects one
 // experiment by name (table1, table2, fig2, fig3, fig4, fig5, fig6,
@@ -23,21 +28,56 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"sysscale/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run carries main's body so the profile-writing defers fire even on
+// experiment failure (os.Exit would skip them).
+func run() int {
 	runName := flag.String("run", "", "run a single experiment by name")
 	fig6n := flag.Int("fig6n", 0, "workloads per Fig. 6 panel (0 = paper scale, 180)")
 	parallel := flag.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS, 1 = sequential)")
 	montecarlo := flag.Bool("montecarlo", false, "run the Monte Carlo robustness sweep")
 	seed := flag.Uint64("seed", 1, "Monte Carlo workload-generator seed")
 	mcN := flag.Int("n", 100, "Monte Carlo generated workload count")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 	if *parallel != 0 {
 		experiments.SetParallelism(*parallel)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the heap profile is accurate
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 	if *montecarlo {
 		*runName = "montecarlo"
@@ -112,10 +152,11 @@ func main() {
 		out, err := e.fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(start).Seconds(), out)
 	}
+	return 0
 }
 
 // multi renders several results in sequence.

@@ -142,6 +142,14 @@ func (c *Cores) setFreq(f vf.Hz) {
 	c.volt = c.params.Curve.VoltageAt(f)
 }
 
+// Reset returns the cluster to the state NewCores builds: base
+// frequency, full duty cycle. Platform pooling uses it to recycle the
+// cluster across runs.
+func (c *Cores) Reset() {
+	c.dutyCycle = 1
+	c.setFreq(c.params.BaseFreq)
+}
+
 // Params returns the configuration.
 func (c *Cores) Params() CoreParams { return c.params }
 

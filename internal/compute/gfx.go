@@ -53,6 +53,10 @@ func (g *Gfx) setFreq(f vf.Hz) {
 	g.volt = g.params.Curve.VoltageAt(f)
 }
 
+// Reset returns the cluster to the state NewGfx builds: base frequency.
+// Platform pooling uses it to recycle the cluster across runs.
+func (g *Gfx) Reset() { g.setFreq(g.params.BaseFreq) }
+
 // Params returns the configuration.
 func (g *Gfx) Params() GfxParams { return g.params }
 

@@ -158,6 +158,22 @@ func NewDevice(kind Kind, geom Geometry, freq vf.Hz) (*Device, error) {
 	return d, nil
 }
 
+// Reset returns the device to the state NewDevice would build at the
+// given bin: active, optimal timing for the bin, and cleared
+// self-refresh statistics. Platform pooling uses it to recycle a device
+// across runs without reallocating.
+func (d *Device) Reset(freq vf.Hz) error {
+	if !d.kind.SupportsBin(freq) {
+		return fmt.Errorf("dram: %v does not support bin %v", d.kind, freq)
+	}
+	d.freq = freq
+	d.state = Active
+	d.timing = OptimalTiming(d.kind, freq)
+	d.srEntries = 0
+	d.srExitTime = 0
+	return nil
+}
+
 // Kind returns the DRAM technology.
 func (d *Device) Kind() Kind { return d.kind }
 

@@ -233,13 +233,24 @@ feed:
 	return results, nil
 }
 
+// runnerPool recycles assembled platforms across jobs and batches:
+// each worker checks a soc.Runner out for the duration of one
+// simulation, so steady-state RunBatch traffic stops paying for MRC
+// retraining, component assembly, and per-run slice/map allocations.
+// Runners are goroutine-exclusive while checked out, and a recycled
+// platform is reset to a state bit-identical with fresh assembly, so
+// pooling changes neither determinism nor results.
+var runnerPool = sync.Pool{New: func() any { return soc.NewRunner() }}
+
 // execute runs one task and distributes its result to every awaiting
 // input index.
 func (e *Engine) execute(jobs []Job, t *task, results []soc.Result, fail func(int, error)) {
 	idx := t.indices[0]
 	cfg := jobs[idx].Config
 	cfg.Policy = cfg.Policy.Clone()
-	res, err := soc.Run(cfg)
+	runner := runnerPool.Get().(*soc.Runner)
+	res, err := runner.Run(cfg)
+	runnerPool.Put(runner)
 	if err != nil {
 		fail(idx, fmt.Errorf("engine: job %d (%s under %s): %w",
 			idx, cfg.Workload.Name, cfg.Policy.Name(), err))

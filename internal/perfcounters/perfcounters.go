@@ -82,13 +82,32 @@ func (f *File) Set(id ID, v float64) { f.current[id] = v }
 func (f *File) Current() Sample { return f.current }
 
 // Latch pushes the current sample into the evaluation window; the PMU
-// calls this at its 1ms sampling cadence.
-func (f *File) Latch() {
-	for i := range f.current {
-		f.windowSum[i] += f.current[i]
+// calls this at its 1ms sampling cadence. It is LatchN with n = 1 —
+// delegating keeps the single-tick and batch paths identical by
+// construction (x*1.0 == x in IEEE arithmetic), which the simulator's
+// span-off bit-identity contract depends on.
+func (f *File) Latch() { f.LatchN(1) }
+
+// LatchN pushes the current sample into the evaluation window n times
+// in one step. The span-batched simulation core uses it when the
+// counter file is provably constant over a run of n ticks: the window
+// sum integrates current×n by multiplication instead of n repeated
+// additions.
+func (f *File) LatchN(n int) {
+	if n <= 0 {
+		return
 	}
-	f.windowCount++
+	fn := float64(n)
+	for i := range f.current {
+		f.windowSum[i] += f.current[i] * fn
+	}
+	f.windowCount += n
 }
+
+// Reset clears the whole counter file — the live sample and the
+// evaluation window — returning it to the state New() provides.
+// Platform pooling uses it to recycle a counter file across runs.
+func (f *File) Reset() { *f = File{} }
 
 // WindowAverage returns the mean of latched samples and the number of
 // samples averaged. The PMU consumes this once per evaluation interval.

@@ -86,6 +86,15 @@ func (f *Flow) Reconfigure(opts FlowOptions) { f.opts = opts }
 // Options returns the flow's current options.
 func (f *Flow) Options() FlowOptions { return f.opts }
 
+// ResetStats clears the cumulative transition statistics, keeping the
+// wiring and options. Platform pooling calls it between runs so a
+// recycled flow starts counting from zero like a freshly wired one.
+func (f *Flow) ResetStats() {
+	f.transitions = 0
+	f.totalTime = 0
+	f.maxTime = 0
+}
+
 // Transitions returns the number of completed flow runs.
 func (f *Flow) Transitions() int { return f.transitions }
 

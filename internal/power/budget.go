@@ -72,6 +72,25 @@ func (b *Budget) SetIOMemory(io, memory Watt) error {
 // History returns every split ever assigned, oldest first.
 func (b *Budget) History() []Split { return b.history }
 
+// Reset reprograms the budget to a fresh TDP/reservation assignment,
+// discarding the accumulated history but keeping its capacity. A reset
+// budget is indistinguishable from NewBudget(tdp, io, memory, uncore)
+// except that the history slice is recycled — which is the point:
+// platform pooling stops the per-run history reallocation. The split
+// is validated before anything is mutated, so a failed Reset leaves
+// the budget unchanged.
+func (b *Budget) Reset(tdp, io, memory, uncore Watt) error {
+	if io < 0 || memory < 0 {
+		return fmt.Errorf("power: negative budget (io=%.3f, mem=%.3f)", io, memory)
+	}
+	if io+memory+uncore >= tdp {
+		return fmt.Errorf("power: io+memory+uncore (%.3fW) exhausts TDP %.3fW", io+memory+uncore, tdp)
+	}
+	b.tdp, b.uncore = tdp, uncore
+	b.history = b.history[:0]
+	return b.SetIOMemory(io, memory)
+}
+
 func (b *Budget) String() string {
 	return fmt.Sprintf("TDP %.2fW = compute %.2fW + io %.2fW + mem %.2fW + uncore %.2fW",
 		b.tdp, b.Compute(), b.io, b.memory, b.uncore)

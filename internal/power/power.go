@@ -67,13 +67,28 @@ func NewMeter(name string) *Meter { return &Meter{name: name} }
 // Name returns the channel name.
 func (m *Meter) Name() string { return m.name }
 
-// Accumulate records that the rail drew p watts for duration d.
-func (m *Meter) Accumulate(p Watt, d sim.Time) {
+// Accumulate records that the rail drew p watts for duration d. It is
+// AccumulateN with n = 1 — delegating keeps the single-tick and batch
+// paths identical by construction, which the simulator's span-off
+// bit-identity contract depends on.
+func (m *Meter) Accumulate(p Watt, d sim.Time) { m.AccumulateN(p, d, 1) }
+
+// AccumulateN records that the rail drew p watts for n consecutive
+// intervals of duration d each — the batch form of Accumulate used by
+// the span-batched simulation core. The energy integral is computed in
+// closed form (p × n·d) instead of n repeated additions; peak and last
+// tracking are unchanged because the draw is constant over the span.
+// AccumulateN(p, d, 1) is arithmetically identical to Accumulate(p, d).
+func (m *Meter) AccumulateN(p Watt, d sim.Time, n int) {
 	if d < 0 {
 		panic("power: negative accumulation interval")
 	}
-	m.energy += Joule(float64(p) * d.Seconds())
-	m.elapsed += d
+	if n <= 0 {
+		return
+	}
+	total := sim.Time(n) * d
+	m.energy += Joule(float64(p) * total.Seconds())
+	m.elapsed += total
 	m.last = p
 	if p > m.peak {
 		m.peak = p
@@ -130,14 +145,22 @@ func (b *MeterBank) Rail(id vf.RailID) *Meter { return b.rails[id] }
 func (b *MeterBank) Total() *Meter { return b.total }
 
 // Accumulate records a tick's per-rail power draws for duration d and
-// adds their sum to the package meter.
+// adds their sum to the package meter. It is AccumulateN with n = 1.
 func (b *MeterBank) Accumulate(perRail [vf.NumRails]Watt, d sim.Time) {
+	b.AccumulateN(perRail, d, 1)
+}
+
+// AccumulateN records that each rail drew its perRail power for n
+// consecutive intervals of duration d — the batch form of Accumulate.
+// The per-rail and package integrals are closed-form, so a span of n
+// identical ticks costs one update instead of n.
+func (b *MeterBank) AccumulateN(perRail [vf.NumRails]Watt, d sim.Time, n int) {
 	var sum Watt
 	for i, p := range perRail {
-		b.rails[i].Accumulate(p, d)
+		b.rails[i].AccumulateN(p, d, n)
 		sum += p
 	}
-	b.total.Accumulate(sum, d)
+	b.total.AccumulateN(sum, d, n)
 }
 
 // Reset clears every meter in the bank.

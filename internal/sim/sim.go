@@ -89,5 +89,29 @@ func (c *Clock) AdvanceBy(d Time) Time {
 	return c.now
 }
 
+// AdvanceTicks moves the clock forward by n whole ticks in one step —
+// the bulk-advance used by the span-batched simulation core, which
+// collapses runs of identical ticks into a single accounting update.
+// Advancing by n ticks is exactly n Advance calls (tick counts are
+// integral, so there is no accumulation-order concern).
+func (c *Clock) AdvanceTicks(n int) Time {
+	if n < 0 {
+		panic("sim: clock cannot move backwards")
+	}
+	c.now += Time(n) * c.tick
+	return c.now
+}
+
 // Reset rewinds the clock to time zero.
 func (c *Clock) Reset() { c.now = 0 }
+
+// Restart rewinds the clock to time zero and reprograms its tick,
+// putting the clock in the state NewClock(tick) would return. Platform
+// pooling uses it to recycle a clock across runs with different sample
+// intervals. It panics if tick is not positive, like NewClock.
+func (c *Clock) Restart(tick Time) {
+	if tick <= 0 {
+		panic(fmt.Sprintf("sim: non-positive clock tick %d", tick))
+	}
+	c.now, c.tick = 0, tick
+}

@@ -33,6 +33,16 @@ func (c *phaseCursor) index() int { return c.idx }
 // phase returns the active phase.
 func (c *phaseCursor) phase() workload.Phase { return c.phases[c.idx] }
 
+// nextBoundary returns the time remaining until the cursor leaves the
+// active phase — the span-batched core's phase-edge bound. It is always
+// positive (the cursor's invariant is into < the active duration), and
+// a sample taken exactly nextBoundary() from now belongs to the next
+// phase (boundary samples map to the following phase, matching
+// advance's wrap rule).
+func (c *phaseCursor) nextBoundary() sim.Time {
+	return c.phases[c.idx].Duration - c.into
+}
+
 // advance moves the cursor forward by dt.
 func (c *phaseCursor) advance(dt sim.Time) {
 	if c.total <= 0 || dt <= 0 {

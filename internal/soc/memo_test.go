@@ -150,7 +150,23 @@ func TestTickMemoRunSkipsSteadyTicks(t *testing.T) {
 		t.Fatalf("memoized run evaluated %d of %d ticks; fast path not engaging", p.evalCalls, nTicks)
 	}
 
+	// With the memo off but span batching on, the fixpoint resolves once
+	// per span — still far fewer than once per tick.
 	cfg.DisableTickMemo = true
+	s, err := newPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.evalCalls*10 > nTicks {
+		t.Fatalf("memo-off span run evaluated %d of %d ticks; span batching not engaging", s.evalCalls, nTicks)
+	}
+
+	// With both fast paths off, the loop is the historical per-tick
+	// walk: one full evaluation per tick.
+	cfg.DisableSpanBatching = true
 	q, err := newPlatform(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -91,6 +91,10 @@ func (p *Platform) run() (Result, error) {
 		return Result{}, fmt.Errorf("soc: duration %v shorter than one tick", cfg.Duration)
 	}
 
+	if cfg.TracePower {
+		res.PowerTrace = make([]float64, 0, nTicks)
+	}
+
 	// Program the initial compute P-states from the boot budgets.
 	firstPhase := cfg.Workload.PhaseAt(0)
 	if _, _, err := p.applyPBM(firstPhase, 0, 0); err != nil {
@@ -98,13 +102,25 @@ func (p *Platform) run() (Result, error) {
 	}
 	p.refreshTickMemo()
 
-	for i := 0; i < nTicks; i++ {
-		now := p.clock.Now()
+	// The loop advances in spans: runs of consecutive ticks over which
+	// the platform programming, the phase, and the stall charge are all
+	// provably constant, so every per-tick quantity is identical and
+	// the span integrates in O(1) by closed-form multiplication. Span
+	// length is bounded by the next policy-eval epoch, the next phase
+	// boundary, and the end of the run; DVFS stall charges and power
+	// tracing fall back to single-tick spans. With DisableSpanBatching
+	// every span is one tick, which reproduces the per-tick walk
+	// bit-for-bit (all batch accumulators are exact identities at n=1).
+	batch := !cfg.DisableSpanBatching && !cfg.TracePower
+
+	for i := 0; i < nTicks; {
 		idx := cursor.index()
 		ph := cursor.phase()
 
-		// Policy evaluation at interval boundaries.
+		// Policy evaluation at interval boundaries. Spans never cross an
+		// epoch boundary, so every multiple of evalEvery starts a span.
 		if i%evalEvery == 0 {
+			now := p.clock.Now()
 			avg, n := p.counters.WindowAverage()
 			if n == 0 {
 				avg = p.counters.Current()
@@ -150,7 +166,16 @@ func (p *Platform) run() (Result, error) {
 
 		ev := p.tickEvalFor(idx, ph)
 
-		// Charge DVFS stall time against this tick's progress.
+		// Span length: how many ticks from i share this exact evaluation.
+		n := 1
+		if batch && pendingStall == 0 {
+			n = spanTicks(i, nTicks, evalEvery, &cursor, tick)
+		}
+		fn := float64(n)
+
+		// Charge DVFS stall time against this tick's progress. A span
+		// with a pending stall is a single tick (n == 1 above), so the
+		// charge lands on exactly the tick that issued the transition.
 		stallFrac := 0.0
 		if pendingStall > 0 {
 			stallFrac = float64(pendingStall) / float64(tick)
@@ -182,21 +207,23 @@ func (p *Platform) run() (Result, error) {
 		c2 := resid.C2 * idleScale
 		deep := (resid.C6 + resid.C8) * idleScale
 
-		work += effRate * c0 * tickSec
-		activeTime += c0 * tickSec
+		work += effRate * c0 * tickSec * fn
+		activeTime += c0 * tickSec * fn
 
-		// Counters reflect the tick's average activity.
+		// Counters reflect each tick's average activity, constant over
+		// the span: latch the same sample n times in one step.
 		p.setCounters(ev, c0, c2)
-		p.counters.Latch()
-		counterSum = addSample(counterSum, p.counters.Current())
-		counterTicks++
+		p.counters.LatchN(n)
+		counterSum = addSampleN(counterSum, p.counters.Current(), fn)
+		counterTicks += n
 
-		// Power.
+		// Power: the per-rail draws are constant over the span, so the
+		// meters integrate n ticks in closed form.
 		perRail, computeW, ioMemW := p.tickPower(ph, ev, c0, c2, deep, resid)
-		p.meters.Accumulate(perRail, tick)
+		p.meters.AccumulateN(perRail, tick, n)
 		lastComputePower = computeW
-		ioMemPowerInterval += float64(ioMemW)
-		intervalTicks++
+		ioMemPowerInterval += float64(ioMemW) * fn
+		intervalTicks += n
 
 		if cfg.TracePower {
 			var tot power.Watt
@@ -206,12 +233,13 @@ func (p *Platform) run() (Result, error) {
 			res.PowerTrace = append(res.PowerTrace, float64(tot))
 		}
 
-		res.PointResidency[p.currentIdx] += tickSec
-		coreFreqSum += float64(p.cores.Frequency())
-		gfxFreqSum += float64(p.gfx.Frequency())
+		res.PointResidency[p.currentIdx] += tickSec * fn
+		coreFreqSum += float64(p.cores.Frequency()) * fn
+		gfxFreqSum += float64(p.gfx.Frequency()) * fn
 
-		p.clock.Advance()
-		cursor.advance(tick)
+		p.clock.AdvanceTicks(n)
+		cursor.advance(sim.Time(n) * tick)
+		i += n
 	}
 
 	elapsed := cfg.Duration.Seconds()
@@ -242,6 +270,23 @@ func (p *Platform) run() (Result, error) {
 		res.CounterAvg = counterSum
 	}
 	return res, nil
+}
+
+// spanTicks returns how many consecutive ticks, starting at tick index
+// i, the platform evaluation is provably constant for: the span ends at
+// the earliest of the next policy-eval epoch (the next multiple of
+// evalEvery), the cursor's next phase boundary, and the end of the run.
+// The result is always ≥ 1 (i itself is inside the run, inside the
+// active phase, and past its own epoch boundary).
+func spanTicks(i, nTicks, evalEvery int, c *phaseCursor, tick sim.Time) int {
+	n := nTicks - i
+	if untilEval := evalEvery - i%evalEvery; untilEval < n {
+		n = untilEval
+	}
+	if untilPhase := int((c.nextBoundary() + tick - 1) / tick); untilPhase < n {
+		n = untilPhase
+	}
+	return n
 }
 
 // --- policy execution helpers ---
@@ -285,8 +330,29 @@ func (p *Platform) maybeTransition(now sim.Time, dec PolicyDecision) (sim.Time, 
 		return 0, err
 	}
 	p.current = dec.Target
-	p.currentIdx = p.ladderIndex()
+	p.currentIdx = p.ladderIdx[p.current]
 	return stall, nil
+}
+
+// pbmMemo caches the last applyPBM outcome. PBM.Apply is a pure
+// function of the request and the compute budget that programs the
+// core/graphics P-states and duty cycle; when the same request meets
+// the same budget AND the programmed compute state still equals what
+// the last Apply left behind (nothing else touched the clocks), the
+// arbitration — including the budget→frequency search — is skipped.
+// In steady state this turns every policy epoch's PBM call into a few
+// comparisons.
+type pbmMemo struct {
+	valid  bool
+	req    pmu.Request
+	budget power.Watt
+	// granted frequencies returned to the caller.
+	coreF, gfxF vf.Hz
+	// compute state Apply (plus fixed-frequency overrides) programmed;
+	// a mismatch means someone reprogrammed the clocks and the memo is
+	// unsound.
+	coreState, gfxState vf.Hz
+	duty                float64
 }
 
 // applyPBM converts the current budgets into compute P-states for the
@@ -314,6 +380,11 @@ func (p *Platform) applyPBM(ph workload.Phase, coreCap, gfxCap vf.Hz) (vf.Hz, vf
 	if gfxCap > 0 && (req.GfxFreq == 0 || gfxCap < req.GfxFreq) {
 		req.GfxFreq = gfxCap
 	}
+	if m := &p.pbmMemo; !p.cfg.DisablePBMMemo && m.valid && req == m.req && p.budget.Compute() == m.budget &&
+		p.cores.Frequency() == m.coreState && p.gfx.Frequency() == m.gfxState &&
+		p.cores.DutyCycle() == m.duty {
+		return m.coreF, m.gfxF, nil
+	}
 	coreF, gfxF, err := p.pbm.Apply(req)
 	if err != nil {
 		return 0, 0, err
@@ -333,6 +404,12 @@ func (p *Platform) applyPBM(ph workload.Phase, coreCap, gfxCap vf.Hz) (vf.Hz, vf
 		}
 		gfxF = p.gfx.Frequency()
 	}
+	p.pbmMemo = pbmMemo{
+		valid: true, req: req, budget: p.budget.Compute(),
+		coreF: coreF, gfxF: gfxF,
+		coreState: p.cores.Frequency(), gfxState: p.gfx.Frequency(),
+		duty: p.cores.DutyCycle(),
+	}
 	return coreF, gfxF, nil
 }
 
@@ -347,15 +424,6 @@ func gfxShareFor(ph workload.Phase) float64 {
 	default:
 		return 0
 	}
-}
-
-func (p *Platform) ladderIndex() int {
-	for i, op := range p.cfg.Ladder {
-		if op == p.current {
-			return i
-		}
-	}
-	return 0
 }
 
 // --- per-tick evaluation ---
@@ -407,14 +475,24 @@ func (p *Platform) programming() tickProg {
 // the platform, each phase's fixpoint is resolved exactly once.
 func (p *Platform) refreshTickMemo() {
 	prog := p.programming()
-	if p.tickValid != nil && prog == p.tickProg {
+	if p.memoReady && prog == p.tickProg {
 		return
 	}
 	p.tickProg = prog
-	if p.tickValid == nil {
+	if !p.memoReady {
 		n := len(p.cfg.Workload.Phases)
-		p.tickMemo = make([]tickEval, n)
-		p.tickValid = make([]bool, n)
+		if cap(p.tickMemo) >= n && cap(p.tickValid) >= n {
+			// Pooled platform: recycle the per-phase backing arrays.
+			p.tickMemo = p.tickMemo[:n]
+			p.tickValid = p.tickValid[:n]
+			for i := range p.tickValid {
+				p.tickValid[i] = false
+			}
+		} else {
+			p.tickMemo = make([]tickEval, n)
+			p.tickValid = make([]bool, n)
+		}
+		p.memoReady = true
 		return
 	}
 	for i := range p.tickValid {
@@ -633,9 +711,13 @@ const (
 	ddrioOffPower   power.Watt = 0.004
 )
 
-func addSample(a, b perfcounters.Sample) perfcounters.Sample {
+// addSampleN accumulates n copies of b into a in closed form. n == 1
+// is an exact identity with per-tick addition (x*1.0 == x in IEEE
+// arithmetic), which keeps the span-off path bit-identical to the
+// historical per-tick walk.
+func addSampleN(a, b perfcounters.Sample, n float64) perfcounters.Sample {
 	for i := range a {
-		a[i] += b[i]
+		a[i] += b[i] * n
 	}
 	return a
 }

@@ -134,6 +134,29 @@ type Config struct {
 	// either way (the memo is keyed by every input that feeds the
 	// evaluation); the knob exists for A/B verification and benchmarks.
 	DisableTickMemo bool
+
+	// DisableSpanBatching turns off the span-batched core and walks the
+	// run one tick at a time. Between policy decisions and phase edges
+	// the platform programming is frozen, so the batched core integrates
+	// whole spans of identical ticks in closed form — O(phases +
+	// decisions) per run instead of O(duration/SampleInterval). The two
+	// paths differ only in floating-point summation order (closed-form
+	// multiplication versus repeated addition); across the shipped
+	// workload and policy suites the Results agree to ≤1e-9 relative on
+	// every field (enforced by TestSpanBatchingEquivalence; measured
+	// ≤3e-11). This is an empirical bound, not a structural guarantee:
+	// an ulp-level difference in a window-averaged counter could in
+	// principle flip a custom governor sitting exactly on a decision
+	// threshold. The knob exists for A/B verification and benchmarks.
+	DisableSpanBatching bool
+
+	// DisablePBMMemo turns off the PBM grant memo and re-runs the
+	// budget→P-state arbitration on every applyPBM call. The memo is
+	// exact — it only fires when the request, the compute budget, and
+	// the programmed compute state all match the previous outcome, so
+	// results are bit-identical either way; the knob keeps that claim
+	// falsifiable by A/B tests, like the other two fast paths.
+	DisablePBMMemo bool
 }
 
 // DefaultConfig returns the Table 2 platform: 4.5W TDP, LPDDR3-1600,
@@ -213,8 +236,12 @@ type Platform struct {
 
 	current vf.OperatingPoint
 	// currentIdx caches the ladder index of current, so the hot loop's
-	// residency accounting does not rescan the ladder every tick.
+	// residency accounting does not rescan the ladder every tick;
+	// ladderIdx is the precomputed OperatingPoint→index map that backs
+	// it (transitions look the new point up in O(1) instead of scanning
+	// the ladder).
 	currentIdx int
+	ladderIdx  map[vf.OperatingPoint]int
 	bonus      power.Watt
 
 	// refLats caches each phase's reference loaded latency (computed at
@@ -223,11 +250,19 @@ type Platform struct {
 
 	// Steady-state tick memo (run.go): one resolved tickEval per phase,
 	// valid while tickProg — the programmable state feeding evalTick —
-	// is unchanged. evalCalls counts full fixpoint evaluations.
+	// is unchanged. memoReady marks the per-phase slices as sized for
+	// the current workload (pooled platforms recycle their backing
+	// arrays across runs). evalCalls counts full fixpoint evaluations.
 	tickProg  tickProg
 	tickMemo  []tickEval
 	tickValid []bool
+	memoReady bool
 	evalCalls int
+
+	// pbm grant memo (run.go): skips the budget→P-state search when the
+	// request, the compute budget, and the currently programmed compute
+	// state all match the previous applyPBM outcome.
+	pbmMemo pbmMemo
 }
 
 // NewPlatform assembles an SoC without running it, for callers that
@@ -243,6 +278,8 @@ func newPlatform(cfg Config) (*Platform, error) {
 	boot := cfg.Ladder[0]
 
 	p := &Platform{cfg: cfg, current: boot, refLats: make(map[int]float64)}
+	p.ladderIdx = make(map[vf.OperatingPoint]int, len(cfg.Ladder))
+	p.fillLadderIndex()
 	p.clock = sim.NewClock(cfg.SampleInterval)
 	p.rails = vf.DefaultRails()
 	if cfg.RecordEvents {

@@ -45,9 +45,18 @@
 //
 // Inside a run, the simulator memoizes the per-tick fixpoint
 // evaluation while the platform programming is unchanged between PMU
-// decisions (the steady-state fast path). Results are bit-identical
-// with the memo on or off; Config.DisableTickMemo forces the per-tick
-// evaluation for A/B verification and benchmarking.
+// decisions (the steady-state fast path), and batches runs of
+// identical ticks into closed-form spans bounded by policy epochs and
+// phase edges, so a run costs O(phases + decisions) rather than
+// O(duration/SampleInterval). Results are bit-identical with the memo
+// on or off; span batching agrees with the per-tick walk to ≤1e-9
+// relative across the shipped suites (the paths differ only in
+// floating-point summation order). Config.DisableTickMemo and
+// Config.DisableSpanBatching force the slow paths for A/B
+// verification and benchmarking. The engine additionally recycles
+// assembled platforms across batch jobs through a sync.Pool, which is
+// invisible to callers (a reset platform is bit-identical to a fresh
+// one).
 package sysscale
 
 import (
