@@ -13,6 +13,7 @@ package sysscale_test
 // EXPERIMENTS.md for the per-figure comparison.
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -38,7 +39,7 @@ func BenchmarkTable1Setups(b *testing.B) {
 func BenchmarkFig2aMotivation(b *testing.B) {
 	var power float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig2a()
+		r, err := experiments.Fig2a(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func BenchmarkFig3bStaticDemand(b *testing.B) {
 func BenchmarkFig4MRC(b *testing.B) {
 	var powerInc, perfDeg float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig4()
+		r, err := experiments.Fig4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func BenchmarkFig6Prediction(b *testing.B) {
 		opt := experiments.DefaultFig6Options()
 		opt.PerPanel = 40
 		opt.Duration = 300 * sim.Millisecond
-		r, err := experiments.Fig6(opt)
+		r, err := experiments.Fig6(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +121,7 @@ func BenchmarkFig6Prediction(b *testing.B) {
 func BenchmarkFig7SPEC(b *testing.B) {
 	var sys, co, mem, max float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig7()
+		r, err := experiments.Fig7(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func BenchmarkFig7SPEC(b *testing.B) {
 func BenchmarkFig8Graphics(b *testing.B) {
 	var g06, g11, gv float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig8()
+		r, err := experiments.Fig8(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +152,7 @@ func BenchmarkFig8Graphics(b *testing.B) {
 func BenchmarkFig9Battery(b *testing.B) {
 	var web, game, conf, video float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig9()
+		r, err := experiments.Fig9(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -168,7 +169,7 @@ func BenchmarkFig9Battery(b *testing.B) {
 func BenchmarkFig10TDP(b *testing.B) {
 	var m35, m45, m7, m15 float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig10()
+		r, err := experiments.Fig10(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -185,7 +186,7 @@ func BenchmarkFig10TDP(b *testing.B) {
 func BenchmarkDRAMSensitivity(b *testing.B) {
 	var deficit, ratio float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.DRAMSensitivity()
+		r, err := experiments.DRAMSensitivity(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -200,7 +201,7 @@ func BenchmarkDRAMSensitivity(b *testing.B) {
 func BenchmarkAblations(b *testing.B) {
 	var full, noMRC, noRedist float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Ablations()
+		r, err := experiments.Ablations(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -267,6 +268,36 @@ func BenchmarkEngineSequential(b *testing.B) { benchEngineSweep(b, 1) }
 // speedup (≈ core count on a multi-core machine).
 func BenchmarkEngineParallel(b *testing.B) { benchEngineSweep(b, runtime.GOMAXPROCS(0)) }
 
+// BenchmarkEngineStream runs the BenchmarkEngineParallel sweep through
+// Engine.Stream instead of RunBatch: same jobs, same worker bound,
+// results consumed (and dropped) as they complete. The gate pins this
+// next to the batch path so the streaming delivery layer — channel
+// sends, per-job clones — can never silently regress relative to it.
+func BenchmarkEngineStream(b *testing.B) {
+	cfgs := engineSweepConfigs(b)
+	jobs := make([]sysscale.Job, len(cfgs))
+	for i, c := range cfgs {
+		jobs[i] = sysscale.Job{Config: c}
+	}
+	eng := sysscale.NewEngine(sysscale.WithParallelism(runtime.GOMAXPROCS(0)), sysscale.WithCache(false))
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for jr := range eng.Stream(ctx, jobs) {
+			if jr.Err != nil {
+				b.Fatal(jr.Err)
+			}
+			n++
+		}
+		if n != len(jobs) {
+			b.Fatalf("stream delivered %d of %d jobs", n, len(jobs))
+		}
+	}
+	b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "runs/s")
+}
+
 // BenchmarkMonteCarlo runs a reduced Monte Carlo robustness sweep (25
 // generated workloads × 4 policies as one engine batch) — the
 // fleet-style load the span-batched core and platform pooling target,
@@ -277,7 +308,7 @@ func BenchmarkMonteCarlo(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opt := experiments.DefaultMonteCarloOptions()
 		opt.N = 25
-		r, err := experiments.MonteCarlo(opt)
+		r, err := experiments.MonteCarlo(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}

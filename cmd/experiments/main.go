@@ -25,11 +25,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"sysscale/internal/experiments"
@@ -82,22 +86,32 @@ func run() int {
 	if *montecarlo {
 		*runName = "montecarlo"
 	}
-	mcFn := func() (fmt.Stringer, error) {
+
+	// Ctrl-C cancels the run context: in-flight sweeps unwind within
+	// one policy epoch, pooled platforms are returned, and the command
+	// exits after reporting the cancellation. The AfterFunc unregisters
+	// the handler as soon as the context fires, so a second Ctrl-C
+	// kills the process the usual way even if a sweep fails to unwind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	mcFn := func(ctx context.Context) (fmt.Stringer, error) {
 		opt := experiments.DefaultMonteCarloOptions()
 		opt.Seed = *seed
 		opt.N = *mcN
-		return experiments.MonteCarlo(opt)
+		return experiments.MonteCarlo(ctx, opt)
 	}
 
 	type exp struct {
 		name string
-		fn   func() (fmt.Stringer, error)
+		fn   func(ctx context.Context) (fmt.Stringer, error)
 	}
 	all := []exp{
-		{"table1", func() (fmt.Stringer, error) { return experiments.Table1(), nil }},
-		{"table2", func() (fmt.Stringer, error) { return experiments.Table2(), nil }},
-		{"fig2", func() (fmt.Stringer, error) {
-			a, err := experiments.Fig2a()
+		{"table1", func(ctx context.Context) (fmt.Stringer, error) { return experiments.Table1(), nil }},
+		{"table2", func(ctx context.Context) (fmt.Stringer, error) { return experiments.Table2(), nil }},
+		{"fig2", func(ctx context.Context) (fmt.Stringer, error) {
+			a, err := experiments.Fig2a(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -111,31 +125,31 @@ func run() int {
 			}
 			return multi{a, b, c}, nil
 		}},
-		{"fig3", func() (fmt.Stringer, error) {
+		{"fig3", func(ctx context.Context) (fmt.Stringer, error) {
 			a, err := experiments.Fig3a()
 			if err != nil {
 				return nil, err
 			}
 			return multi{a, experiments.Fig3b()}, nil
 		}},
-		{"fig4", func() (fmt.Stringer, error) { return experiments.Fig4() }},
-		{"fig5", func() (fmt.Stringer, error) { return experiments.Fig5Latency() }},
-		{"fig6", func() (fmt.Stringer, error) {
+		{"fig4", func(ctx context.Context) (fmt.Stringer, error) { return experiments.Fig4(ctx) }},
+		{"fig5", func(ctx context.Context) (fmt.Stringer, error) { return experiments.Fig5Latency() }},
+		{"fig6", func(ctx context.Context) (fmt.Stringer, error) {
 			opt := experiments.DefaultFig6Options()
 			if *fig6n > 0 {
 				opt.PerPanel = *fig6n
 			}
-			return experiments.Fig6(opt)
+			return experiments.Fig6(ctx, opt)
 		}},
-		{"fig7", func() (fmt.Stringer, error) { return experiments.Fig7() }},
-		{"fig8", func() (fmt.Stringer, error) { return experiments.Fig8() }},
-		{"fig9", func() (fmt.Stringer, error) { return experiments.Fig9() }},
-		{"fig10", func() (fmt.Stringer, error) { return experiments.Fig10() }},
-		{"sensitivity", func() (fmt.Stringer, error) { return experiments.DRAMSensitivity() }},
-		{"multipoint", func() (fmt.Stringer, error) { return experiments.MultiPoint() }},
-		{"cost", func() (fmt.Stringer, error) { return experiments.ImplementationCost() }},
-		{"ablations", func() (fmt.Stringer, error) { return experiments.Ablations() }},
-		{"calibrate", func() (fmt.Stringer, error) { return experiments.Calibrate(0, 7) }},
+		{"fig7", func(ctx context.Context) (fmt.Stringer, error) { return experiments.Fig7(ctx) }},
+		{"fig8", func(ctx context.Context) (fmt.Stringer, error) { return experiments.Fig8(ctx) }},
+		{"fig9", func(ctx context.Context) (fmt.Stringer, error) { return experiments.Fig9(ctx) }},
+		{"fig10", func(ctx context.Context) (fmt.Stringer, error) { return experiments.Fig10(ctx) }},
+		{"sensitivity", func(ctx context.Context) (fmt.Stringer, error) { return experiments.DRAMSensitivity(ctx) }},
+		{"multipoint", func(ctx context.Context) (fmt.Stringer, error) { return experiments.MultiPoint(ctx) }},
+		{"cost", func(ctx context.Context) (fmt.Stringer, error) { return experiments.ImplementationCost() }},
+		{"ablations", func(ctx context.Context) (fmt.Stringer, error) { return experiments.Ablations(ctx) }},
+		{"calibrate", func(ctx context.Context) (fmt.Stringer, error) { return experiments.Calibrate(ctx, 0, 7) }},
 		{"montecarlo", mcFn},
 	}
 
@@ -149,9 +163,13 @@ func run() int {
 			continue
 		}
 		start := time.Now()
-		out, err := e.fn()
+		out, err := e.fn(ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "interrupted: partial sweeps discarded")
+				return 130
+			}
 			return 1
 		}
 		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(start).Seconds(), out)

@@ -17,11 +17,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"sysscale"
@@ -79,9 +83,20 @@ func main() {
 	cfg.TDP = sysscale.Watt(*tdp)
 	cfg.Duration = sysscale.Time(duration.Nanoseconds())
 
-	res, err := sysscale.Run(cfg)
+	// Ctrl-C cancels the run context; the simulation unwinds within
+	// one policy epoch and the command exits with the cancellation.
+	// The AfterFunc unregisters the handler once the context fires, so
+	// a second Ctrl-C kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	res, err := sysscale.RunContext(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	fmt.Println(res)
@@ -91,9 +106,12 @@ func main() {
 
 	if *compare && *polName != "baseline" {
 		cfg.Policy = sysscale.NewBaseline()
-		base, err := sysscale.Run(cfg)
+		base, err := sysscale.RunContext(ctx, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			if errors.Is(err, context.Canceled) {
+				os.Exit(130)
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("vs baseline: perf %+.1f%%, avg power %+.1f%%, EDP %+.1f%%\n",

@@ -9,17 +9,31 @@
 // therefore clones the configured policy once per job via
 // soc.Policy.Clone and leaves the caller's instance untouched.
 //
-// Results come back in input order regardless of worker count, and a
-// batch that contains the same configuration several times simulates it
-// once. The cache persists across batches, so an experiment harness
-// that re-runs the same baselines for several figures pays for them
-// once.
+// The primitive execution surface is the streaming core (runJobs):
+// jobs go out to the worker pool and one JobResult per job is
+// delivered as each simulation completes. Stream exposes it on a
+// channel, so an unbounded sweep runs in O(parallelism) result
+// memory; RunBatch/RunBatchContext are thin collectors over the same
+// core that deliver straight into the ordered results slice (no
+// channel handoff on the batch hot path) and restore fail-fast
+// semantics. All entry points accept a context: cancellation stops
+// feeding queued work, unwinds in-flight simulations within one
+// policy epoch, and returns every pooled platform cleanly.
+//
+// Results come back in input order (batch paths) or tagged with their
+// input index (Stream) regardless of worker count, and a batch that
+// contains the same configuration several times simulates it once. The
+// cache persists across batches, so an experiment harness that re-runs
+// the same baselines for several figures pays for them once.
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"sysscale/internal/soc"
 )
@@ -28,6 +42,44 @@ import (
 type Job struct {
 	Config soc.Config
 }
+
+// JobResult is one job's outcome as delivered by Stream: the input
+// index it belongs to, and either the Result or a non-nil Err (a
+// *JobError, whose chain includes soc.ErrInvalidConfig for rejected
+// configs and ctx.Err() for cancelled runs).
+type JobResult struct {
+	Index  int
+	Result soc.Result
+	Err    error
+}
+
+// JobError reports which batch job failed and why. It wraps the
+// underlying cause, so errors.Is/As see through it:
+//
+//	errors.Is(err, soc.ErrInvalidConfig) // bad configuration
+//	errors.Is(err, context.Canceled)     // job unwound by cancellation
+//	var je *engine.JobError
+//	errors.As(err, &je)                  // je.Index, je.Config
+type JobError struct {
+	// Index is the job's position in the submitted batch.
+	Index int
+	// Config is the failed job's configuration.
+	Config soc.Config
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	pol := "<nil>"
+	if e.Config.Policy != nil {
+		pol = e.Config.Policy.Name()
+	}
+	return fmt.Sprintf("engine: job %d (%s under %s): %v", e.Index, e.Config.Workload.Name, pol, e.Err)
+}
+
+// Unwrap supports errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
 
 // Option configures an Engine.
 type Option func(*Engine)
@@ -40,7 +92,8 @@ func WithParallelism(n int) Option {
 
 // WithCache enables or disables result memoization and in-batch
 // coalescing (enabled by default). Disable it to measure raw
-// simulation throughput in benchmarks.
+// simulation throughput in benchmarks, or to run unbounded sweeps in
+// bounded memory (the cache grows with every distinct config).
 func WithCache(enabled bool) Option {
 	return func(e *Engine) { e.cacheOn = enabled }
 }
@@ -118,7 +171,13 @@ func (e *Engine) ClearCache() {
 // the engine-backed replacement for soc.Run and can be passed anywhere
 // a soc.RunFunc is expected.
 func (e *Engine) Run(cfg soc.Config) (soc.Result, error) {
-	rs, err := e.RunBatch([]Job{{Config: cfg}})
+	return e.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: a cancelled run unwinds within
+// one policy epoch and returns ctx.Err().
+func (e *Engine) RunContext(ctx context.Context, cfg soc.Config) (soc.Result, error) {
+	rs, err := e.RunBatchContext(ctx, []Job{{Config: cfg}})
 	if err != nil {
 		return soc.Result{}, err
 	}
@@ -136,18 +195,150 @@ type task struct {
 // results in input order. The batch is deterministic: the returned
 // slice is identical to running each job sequentially through soc.Run,
 // whatever the worker count. On the first failure the engine stops
-// feeding work (in-flight simulations finish) and returns the error of
-// the lowest-indexed failed job; no partial results are returned.
+// feeding work, cancels in-flight simulations, and returns a *JobError
+// identifying the lowest-indexed failed job; no partial results are
+// returned.
 func (e *Engine) RunBatch(jobs []Job) ([]soc.Result, error) {
-	results := make([]soc.Result, len(jobs))
+	return e.RunBatchContext(context.Background(), jobs)
+}
 
-	// Resolve cache hits and coalesce in-batch duplicates so each
-	// unique configuration simulates once.
+// RunBatchContext is RunBatch with cancellation: once ctx is done the
+// engine stops feeding queued jobs, in-flight simulations unwind
+// within one policy epoch, every pooled platform is returned, and the
+// call reports ctx.Err() (so errors.Is(err, context.Canceled) holds
+// for a cancelled batch).
+func (e *Engine) RunBatchContext(ctx context.Context, jobs []Job) ([]soc.Result, error) {
+	// Nil-policy jobs are rejected up front — before any simulation
+	// runs — preserving the historical RunBatch contract.
+	for i, j := range jobs {
+		if j.Config.Policy == nil {
+			return nil, &JobError{Index: i, Config: j.Config, Err: fmt.Errorf("%w: nil policy", soc.ErrInvalidConfig)}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Collect the streaming core with fail-fast, delivering straight
+	// into the results slice (each index is written by exactly one
+	// goroutine, so the direct writes need no lock — and no channel
+	// handoff, keeping the batch path as fast as it was before the
+	// streaming layer existed). The first real job failure cancels the
+	// batch context, which stops the feed and unwinds in-flight runs;
+	// those unwound siblings report context.Canceled — collateral of
+	// the fail-fast, not root causes — so they never displace the
+	// genuine error. Among genuine failures the lowest-indexed
+	// delivered job wins.
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]soc.Result, len(jobs))
+	var (
+		errMu    sync.Mutex
+		firstErr *JobError
+	)
+	e.runJobs(bctx, jobs, func(jr JobResult) bool {
+		switch {
+		case jr.Err == nil:
+			results[jr.Index] = jr.Result
+		case errors.Is(jr.Err, context.Canceled) || errors.Is(jr.Err, context.DeadlineExceeded):
+			// Unwound by cancellation (ours or the caller's).
+		default:
+			var je *JobError
+			if !errors.As(jr.Err, &je) {
+				je = &JobError{Index: jr.Index, Config: jobs[jr.Index].Config, Err: jr.Err}
+			}
+			errMu.Lock()
+			if firstErr == nil || je.Index < firstErr.Index {
+				firstErr = je
+			}
+			errMu.Unlock()
+			cancel()
+		}
+		return true
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// Stream executes the jobs with bounded parallelism and delivers one
+// JobResult per job on the returned channel as each completes
+// (completion order, not input order — JobResult.Index identifies the
+// job). Results are not accumulated anywhere: a sweep of any size runs
+// in O(parallelism) result memory, modulo the engine cache (disable it
+// with WithCache(false), or ClearCache periodically, for unbounded
+// config spaces).
+//
+// A failed job delivers a JobResult with a *JobError instead of
+// killing the stream; jobs are independent and the remaining jobs
+// still run. The channel is closed once every job has been delivered,
+// or — when ctx is cancelled — once queued jobs have been abandoned
+// and in-flight simulations have unwound (within one policy epoch) and
+// returned their pooled platforms. Jobs overtaken by the cancellation
+// are dropped, never delivered: an error on the channel is always a
+// genuine job failure, not cancellation collateral.
+//
+// The consumer contract: either drain the channel to its close, or
+// cancel ctx (after which the channel closes on its own, so further
+// draining is optional). Breaking out of the receive loop without
+// cancelling ctx leaks the stream's worker goroutines for the life of
+// the process — they block delivering into a channel nobody reads.
+func (e *Engine) Stream(ctx context.Context, jobs []Job) <-chan JobResult {
+	// The channel carries a small buffer — one slot per worker — to
+	// soften the producer/consumer handoff; memory stays
+	// O(parallelism).
+	out := make(chan JobResult, e.Parallelism())
+	go func() {
+		defer close(out)
+		e.runJobs(ctx, jobs, func(jr JobResult) bool {
+			if jr.Err != nil && (errors.Is(jr.Err, context.Canceled) || errors.Is(jr.Err, context.DeadlineExceeded)) {
+				// Cancellation collateral: an in-flight job unwound by
+				// ctx. Drop it deterministically — without this check
+				// the select below delivers or drops at random while
+				// both cases are ready — and stop delivering (the only
+				// source of such errors is ctx itself being done).
+				return false
+			}
+			select {
+			case out <- jr:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}()
+	return out
+}
+
+// runJobs is the shared streaming core behind Stream and
+// RunBatchContext: resolve cache hits, coalesce in-batch duplicates,
+// fan the remaining tasks out over the worker pool, and hand every
+// job's JobResult to deliver as it completes. deliver is called
+// concurrently from the workers (and from the resolve loop for cache
+// hits); it returns false to stop deliveries early. runJobs returns
+// once every worker has finished — on cancellation that means queued
+// tasks were abandoned, in-flight simulations unwound within one
+// policy epoch, and every pooled Runner is back in the pool.
+func (e *Engine) runJobs(ctx context.Context, jobs []Job, deliver func(JobResult) bool) {
+	// Resolve cache hits (delivered immediately) and coalesce in-batch
+	// duplicates so each unique configuration simulates once.
 	tasks := make([]*task, 0, len(jobs))
 	byKey := make(map[string]*task)
 	for i, j := range jobs {
+		if ctx.Err() != nil {
+			return
+		}
 		if j.Config.Policy == nil {
-			return nil, fmt.Errorf("engine: job %d has nil policy", i)
+			err := &JobError{Index: i, Config: j.Config, Err: fmt.Errorf("%w: nil policy", soc.ErrInvalidConfig)}
+			if !deliver(JobResult{Index: i, Err: err}) {
+				return
+			}
+			continue
 		}
 		if !e.cacheOn {
 			tasks = append(tasks, &task{indices: []int{i}})
@@ -165,7 +356,9 @@ func (e *Engine) RunBatch(jobs []Job) ([]soc.Result, error) {
 		}
 		e.mu.Unlock()
 		if hit {
-			results[i] = cloneResult(r)
+			if !deliver(JobResult{Index: i, Result: cloneResult(r)}) {
+				return
+			}
 			continue
 		}
 		if t, ok := byKey[key]; ok {
@@ -180,7 +373,7 @@ func (e *Engine) RunBatch(jobs []Job) ([]soc.Result, error) {
 		tasks = append(tasks, t)
 	}
 	if len(tasks) == 0 {
-		return results, nil
+		return
 	}
 
 	workers := e.Parallelism()
@@ -188,49 +381,29 @@ func (e *Engine) RunBatch(jobs []Job) ([]soc.Result, error) {
 		workers = len(tasks)
 	}
 
-	var (
-		wg       sync.WaitGroup
-		work     = make(chan *task)
-		stop     = make(chan struct{})
-		stopOnce sync.Once
-		errMu    sync.Mutex
-		firstErr error
-		firstIdx int
-	)
-	fail := func(idx int, err error) {
-		errMu.Lock()
-		if firstErr == nil || idx < firstIdx {
-			firstErr, firstIdx = err, idx
-		}
-		errMu.Unlock()
-		stopOnce.Do(func() { close(stop) })
-	}
-
+	var wg sync.WaitGroup
+	work := make(chan *task)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for t := range work {
-				e.execute(jobs, t, results, fail)
+				e.execute(ctx, jobs, t, deliver)
 			}
 		}()
 	}
-	// Feed in input order; stop on the first failure (fail fast).
+	// Feed in input order; stop feeding once ctx is done (in-flight
+	// simulations observe ctx themselves and unwind within one epoch).
 feed:
 	for _, t := range tasks {
 		select {
 		case work <- t:
-		case <-stop:
+		case <-ctx.Done():
 			break feed
 		}
 	}
 	close(work)
 	wg.Wait()
-
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return results, nil
 }
 
 // runnerPool recycles assembled platforms across jobs and batches:
@@ -239,21 +412,31 @@ feed:
 // retraining, component assembly, and per-run slice/map allocations.
 // Runners are goroutine-exclusive while checked out, and a recycled
 // platform is reset to a state bit-identical with fresh assembly, so
-// pooling changes neither determinism nor results.
+// pooling changes neither determinism nor results. A cancelled run
+// returns its Runner like any other — Reset restores a platform
+// abandoned mid-run exactly as it restores a completed one.
 var runnerPool = sync.Pool{New: func() any { return soc.NewRunner() }}
 
-// execute runs one task and distributes its result to every awaiting
-// input index.
-func (e *Engine) execute(jobs []Job, t *task, results []soc.Result, fail func(int, error)) {
+// runnersInFlight gauges Runners currently checked out of runnerPool.
+// It must read zero whenever no simulation is executing — the tests
+// use it to prove cancellation never leaks a pooled Runner.
+var runnersInFlight atomic.Int64
+
+// execute runs one task and delivers its result (or error) to every
+// awaiting input index.
+func (e *Engine) execute(ctx context.Context, jobs []Job, t *task, deliver func(JobResult) bool) {
 	idx := t.indices[0]
 	cfg := jobs[idx].Config
 	cfg.Policy = cfg.Policy.Clone()
 	runner := runnerPool.Get().(*soc.Runner)
-	res, err := runner.Run(cfg)
+	runnersInFlight.Add(1)
+	res, err := runner.RunContext(ctx, cfg)
+	runnersInFlight.Add(-1)
 	runnerPool.Put(runner)
 	if err != nil {
-		fail(idx, fmt.Errorf("engine: job %d (%s under %s): %w",
-			idx, cfg.Workload.Name, cfg.Policy.Name(), err))
+		for _, i := range t.indices {
+			deliver(JobResult{Index: i, Err: &JobError{Index: i, Config: jobs[i].Config, Err: err}})
+		}
 		return
 	}
 	e.mu.Lock()
@@ -263,7 +446,9 @@ func (e *Engine) execute(jobs []Job, t *task, results []soc.Result, fail func(in
 	}
 	e.mu.Unlock()
 	for _, i := range t.indices {
-		results[i] = cloneResult(res)
+		if !deliver(JobResult{Index: i, Result: cloneResult(res)}) {
+			return
+		}
 	}
 }
 

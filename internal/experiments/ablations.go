@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sysscale/internal/core"
+	"sysscale/internal/engine"
 	"sysscale/internal/policy"
 	"sysscale/internal/sim"
 	"sysscale/internal/soc"
@@ -36,7 +38,7 @@ var ablationWorkloads = []string{
 }
 
 // Ablations runs the ablation suite.
-func Ablations() (AblationResult, error) {
+func Ablations(ctx context.Context) (AblationResult, error) {
 	var res AblationResult
 
 	type variant struct {
@@ -106,40 +108,30 @@ func Ablations() (AblationResult, error) {
 		specWs = append(specWs, w)
 	}
 
-	// Each variant's SPEC subset and battery suite go out as batches;
+	// Each variant's SPEC subset and battery suite go out as sweeps;
 	// the baseline columns repeat across variants with identical
 	// configs, so the engine cache pays for them once.
 	for _, v := range variants {
-		mut := func(_ workload.Workload, c *soc.Config) {
+		variantSweep := func(ws []workload.Workload) (*engine.ResultSet, error) {
+			s := newSweep(policy.NewBaseline(), v.mk()).Workloads(ws...)
 			if v.mut != nil {
-				v.mut(c)
+				s.Configure(v.mut)
 			}
+			return s.RunContext(ctx, Engine())
 		}
-		cols := []soc.Policy{policy.NewBaseline(), v.mk()}
 
-		spec, err := runMatrix(specWs, cols, mut)
+		spec, err := variantSweep(specWs)
 		if err != nil {
 			return res, err
 		}
-		var gain float64
-		for _, row := range spec {
-			gain += soc.PerfImprovement(row[1], row[0])
-		}
-		gain /= float64(len(spec))
-
-		battery, err := runMatrix(workload.BatterySuite(), cols, mut)
+		battery, err := variantSweep(workload.BatterySuite())
 		if err != nil {
 			return res, err
 		}
-		var saving float64
-		for _, row := range battery {
-			saving += soc.PowerReduction(row[1], row[0])
-		}
-		saving /= float64(len(battery))
-
 		res.Rows = append(res.Rows, AblationRow{
 			Name: v.name, Description: v.desc,
-			AvgGain: gain, AvgBatterySaving: saving,
+			AvgGain:          spec.PerfImprovement(0).RowMean(1),
+			AvgBatterySaving: battery.PowerReduction(0).RowMean(1),
 		})
 	}
 	return res, nil
@@ -166,7 +158,7 @@ type CalibrationResult struct {
 
 // Calibrate regenerates the threshold calibration on the default
 // platform.
-func Calibrate(count int, seed uint64) (CalibrationResult, error) {
+func Calibrate(ctx context.Context, count int, seed uint64) (CalibrationResult, error) {
 	if count <= 0 {
 		count = 160
 	}
@@ -178,25 +170,20 @@ func Calibrate(count int, seed uint64) (CalibrationResult, error) {
 
 	// The whole calibration population (both static points per
 	// workload) sweeps as one batch.
-	cfgs := make([]soc.Config, 0, 2*len(ws))
-	for _, w := range ws {
-		cfg := soc.DefaultConfig()
-		cfg.Workload = w
-		cfg.Duration = 600 * sim.Millisecond
-		cfg.FixedCoreFreq = 2.0 * 1e9
-		cfgHigh := cfg
-		cfgHigh.Policy = policy.NewStaticPoint(0, false)
-		cfgLow := cfg
-		cfgLow.Policy = policy.NewStaticPoint(1, false)
-		cfgs = append(cfgs, cfgHigh, cfgLow)
-	}
-	rs, err := submit(cfgs)
+	base := soc.DefaultConfig()
+	base.Duration = 600 * sim.Millisecond
+	base.FixedCoreFreq = 2.0 * 1e9
+	rs, err := engine.NewSweep().
+		Base(base).
+		Policies(policy.NewStaticPoint(0, false), policy.NewStaticPoint(1, false)).
+		Workloads(ws...).
+		RunContext(ctx, Engine())
 	if err != nil {
 		return CalibrationResult{}, err
 	}
 	var runs []core.CalibrationRun
 	for i := range ws {
-		high, low := rs[2*i], rs[2*i+1]
+		high, low := rs.Result(i, 0), rs.Result(i, 1)
 		if high.Score <= 0 {
 			continue
 		}

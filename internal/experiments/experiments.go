@@ -7,22 +7,25 @@
 //
 // Each experiment is a pure function returning a typed result with a
 // String() rendering; cmd/experiments and the benchmark harness are
-// thin wrappers around this package.
+// thin wrappers around this package. Experiments that simulate take a
+// context.Context and unwind within one policy epoch once it is
+// cancelled (cmd/experiments wires Ctrl-C to it).
 //
 // All multi-workload fan-out goes through a shared internal/engine
-// instance: every figure builds its batch of configurations and
-// submits it once, so the sweeps run with bounded parallelism
-// (SetParallelism) and repeated runs — the baselines every figure
-// compares against, the §6 scalability probes — are memoized across
-// figures.
+// instance: every figure declares its policy × workload cross-product
+// as an engine.Sweep (or submits a hand-assembled batch for the few
+// irregular shapes) and runs it as one batch, so the sweeps execute
+// with bounded parallelism (SetParallelism) and repeated runs — the
+// baselines every figure compares against, the §6 scalability probes
+// — are memoized across figures.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"sysscale/internal/engine"
-	"sysscale/internal/policy"
 	"sysscale/internal/sim"
 	"sysscale/internal/soc"
 	"sysscale/internal/workload"
@@ -56,15 +59,28 @@ func Engine() *engine.Engine {
 	return shared
 }
 
+// experimentDuration is the harness's duration rule, applied to every
+// sweep cell: cover at least two full loops of the workload's phases,
+// and never less than minRunTime.
+func experimentDuration(cfg *soc.Config) {
+	cfg.Duration = 2 * cfg.Workload.TotalDuration()
+	if cfg.Duration < minRunTime {
+		cfg.Duration = minRunTime
+	}
+}
+
+// newSweep starts a Sweep over the Table 2 platform with the harness
+// duration rule and the given policy columns.
+func newSweep(ps ...soc.Policy) *engine.Sweep {
+	return engine.NewSweep().Policies(ps...).Configure(experimentDuration)
+}
+
 // baseConfig returns the Table 2 platform configured for a workload,
 // covering at least two full loops of its phases.
 func baseConfig(w workload.Workload) soc.Config {
 	cfg := soc.DefaultConfig()
 	cfg.Workload = w
-	cfg.Duration = 2 * w.TotalDuration()
-	if cfg.Duration < minRunTime {
-		cfg.Duration = minRunTime
-	}
+	experimentDuration(&cfg)
 	return cfg
 }
 
@@ -79,80 +95,37 @@ func configFor(w workload.Workload, p soc.Policy, mut func(*soc.Config)) soc.Con
 	return cfg
 }
 
-// submit runs a batch of configurations through the shared engine,
-// returning results in input order.
-func submit(cfgs []soc.Config) ([]soc.Result, error) {
+// submit runs a batch of hand-assembled configurations through the
+// shared engine, returning results in input order. Cross-product
+// shapes should build an engine.Sweep instead.
+func submit(ctx context.Context, cfgs []soc.Config) ([]soc.Result, error) {
 	jobs := make([]engine.Job, len(cfgs))
 	for i, c := range cfgs {
 		jobs[i] = engine.Job{Config: c}
 	}
-	return Engine().RunBatch(jobs)
-}
-
-// runPolicy executes one workload under one policy on the default
-// platform (engine-backed and memoized).
-func runPolicy(w workload.Workload, p soc.Policy, mut func(*soc.Config)) (soc.Result, error) {
-	rs, err := submit([]soc.Config{configFor(w, p, mut)})
-	if err != nil {
-		return soc.Result{}, err
-	}
-	return rs[0], nil
-}
-
-// runMatrix batches the cross product suite × policies in one
-// submission; the returned results are indexed [workload][policy].
-// One policy instance per column is enough — the engine clones it for
-// every job.
-func runMatrix(ws []workload.Workload, ps []soc.Policy, mut func(workload.Workload, *soc.Config)) ([][]soc.Result, error) {
-	cfgs := make([]soc.Config, 0, len(ws)*len(ps))
-	for _, w := range ws {
-		for _, p := range ps {
-			cfg := baseConfig(w)
-			cfg.Policy = p
-			if mut != nil {
-				mut(w, &cfg)
-			}
-			cfgs = append(cfgs, cfg)
-		}
-	}
-	flat, err := submit(cfgs)
-	if err != nil {
-		return nil, err
-	}
-	out := make([][]soc.Result, len(ws))
-	for i := range ws {
-		out[i] = flat[i*len(ps) : (i+1)*len(ps)]
-	}
-	return out, nil
-}
-
-// pairSuite runs baseline and SysScale across a whole suite in one
-// batch; base[i] and sys[i] correspond to ws[i].
-func pairSuite(ws []workload.Workload, mut func(workload.Workload, *soc.Config)) (base, sys []soc.Result, err error) {
-	m, err := runMatrix(ws, []soc.Policy{policy.NewBaseline(), policy.NewSysScaleDefault()}, mut)
-	if err != nil {
-		return nil, nil, err
-	}
-	base = make([]soc.Result, len(ws))
-	sys = make([]soc.Result, len(ws))
-	for i := range m {
-		base[i], sys[i] = m[i][0], m[i][1]
-	}
-	return base, sys, nil
+	return Engine().RunBatchContext(ctx, jobs)
 }
 
 // prewarmProbes batches the §6 scalability probe runs of a suite so the
 // per-row ProjectedPerfGainWith calls resolve from the engine cache.
 // Rows without a usable probe (no relevant clock) are skipped.
-func prewarmProbes(cfgs []soc.Config, bases []soc.Result, gfx bool) error {
+func prewarmProbes(ctx context.Context, cfgs []soc.Config, bases []soc.Result, gfx bool) error {
 	probes := make([]soc.Config, 0, len(cfgs))
 	for i, cfg := range cfgs {
 		if probe, ok := soc.ScalabilityProbeConfig(cfg, bases[i], gfx); ok {
 			probes = append(probes, probe)
 		}
 	}
-	_, err := submit(probes)
+	_, err := submit(ctx, probes)
 	return err
+}
+
+// engineRun returns a soc.RunFunc routing through the shared engine
+// under ctx, for the §6 projection probes.
+func engineRun(ctx context.Context) soc.RunFunc {
+	return func(cfg soc.Config) (soc.Result, error) {
+		return Engine().RunContext(ctx, cfg)
+	}
 }
 
 // pct formats a fraction as a signed percentage.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -41,7 +42,7 @@ func TestTable2MatchesPaper(t *testing.T) {
 }
 
 func TestFig2aShape(t *testing.T) {
-	r, err := Fig2a()
+	r, err := Fig2a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestFig3(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
-	r, err := Fig4()
+	r, err := Fig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestFig6Reduced(t *testing.T) {
 	opt := DefaultFig6Options()
 	opt.PerPanel = 30
 	opt.Duration = 300 * sim.Millisecond
-	r, err := Fig6(opt)
+	r, err := Fig6(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestFig6Reduced(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	r, err := Fig7()
+	r, err := Fig7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	r, err := Fig8()
+	r, err := Fig8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	r, err := Fig9()
+	r, err := Fig9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	r, err := Fig10()
+	r, err := Fig10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +324,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestDRAMSensitivityShape(t *testing.T) {
-	r, err := DRAMSensitivity()
+	r, err := DRAMSensitivity(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +361,7 @@ func TestImplementationCost(t *testing.T) {
 }
 
 func TestAblationsShape(t *testing.T) {
-	r, err := Ablations()
+	r, err := Ablations(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +396,7 @@ func TestAblationsShape(t *testing.T) {
 }
 
 func TestCalibrateReproducesZeroFP(t *testing.T) {
-	r, err := Calibrate(60, 7)
+	r, err := Calibrate(context.Background(), 60, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +412,7 @@ func TestCalibrateReproducesZeroFP(t *testing.T) {
 }
 
 func TestMultiPointShape(t *testing.T) {
-	r, err := MultiPoint()
+	r, err := MultiPoint(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

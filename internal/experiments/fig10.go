@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sysscale/internal/policy"
@@ -27,32 +28,24 @@ type Fig10Result struct{ Rows []Fig10Row }
 func Fig10TDPs() []power.Watt { return []power.Watt{3.5, 4.5, 7, 15} }
 
 // Fig10 sweeps the TDPs over the full SPEC suite: all four TDPs of all
-// 29 benchmarks under both policies go out as a single batch (232
-// runs), the widest fan-out in the harness.
-func Fig10() (Fig10Result, error) {
+// 29 benchmarks under both policies — one sweep per TDP, the widest
+// fan-out in the harness (232 runs total).
+func Fig10(ctx context.Context) (Fig10Result, error) {
 	var res Fig10Result
 	ws := workload.SPECSuite()
-	tdps := Fig10TDPs()
 
-	var cfgs []soc.Config
-	for _, tdp := range tdps {
-		for _, w := range ws {
-			mut := func(c *soc.Config) { c.TDP = tdp }
-			cfgs = append(cfgs,
-				configFor(w, policy.NewBaseline(), mut),
-				configFor(w, policy.NewSysScaleDefault(), mut),
-			)
+	for _, tdp := range Fig10TDPs() {
+		rs, err := newSweep(policy.NewBaseline(), policy.NewSysScaleDefault()).
+			Workloads(ws...).
+			Configure(func(c *soc.Config) { c.TDP = tdp }).
+			RunContext(ctx, Engine())
+		if err != nil {
+			return res, err
 		}
-	}
-	rs, err := submit(cfgs)
-	if err != nil {
-		return res, err
-	}
-	for ti, tdp := range tdps {
-		var gains []float64
+		perf := rs.PerfImprovement(0)
+		gains := make([]float64, len(ws))
 		for wi := range ws {
-			base, sys := rs[2*(ti*len(ws)+wi)], rs[2*(ti*len(ws)+wi)+1]
-			gains = append(gains, 100*soc.PerfImprovement(sys, base))
+			gains[wi] = 100 * perf.Values[1][wi]
 		}
 		res.Rows = append(res.Rows, Fig10Row{TDP: tdp, Summary: stats.Violin(gains), Gains: gains})
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sysscale/internal/policy"
@@ -38,30 +39,32 @@ type Fig2aResult struct {
 // Fig2a runs the motivation experiment on the emulated Broadwell
 // platform: CPU cores pinned at 1.2GHz, IO and memory domains either
 // at the baseline point or statically at the MD-DVFS point. The three
-// setups of all three benchmarks run as one batch.
-func Fig2a() (Fig2aResult, error) {
+// setups of all three benchmarks run as one sweep: the redistribution
+// column additionally moves the cores to 1.3GHz.
+func Fig2a(ctx context.Context) (Fig2aResult, error) {
 	var out Fig2aResult
-	pin := func(f vf.Hz) func(*soc.Config) {
-		return func(c *soc.Config) { c.FixedCoreFreq = f }
-	}
-	var cfgs []soc.Config
+	ws := make([]workload.Workload, 0, len(fig2Workloads))
 	for _, name := range fig2Workloads {
 		w, err := workload.SPEC(name)
 		if err != nil {
 			return out, err
 		}
-		cfgs = append(cfgs,
-			configFor(w, policy.NewBaseline(), pin(1.2*vf.GHz)),
-			configFor(w, policy.NewStaticPoint(1, false), pin(1.2*vf.GHz)),
-			configFor(w, policy.NewStaticPoint(1, true), pin(1.3*vf.GHz)),
-		)
+		ws = append(ws, w)
 	}
-	rs, err := submit(cfgs)
+	rs, err := newSweep(policy.NewBaseline(), policy.NewStaticPoint(1, false), policy.NewStaticPoint(1, true)).
+		Workloads(ws...).
+		ConfigureCell(func(_ workload.Workload, pi int, c *soc.Config) {
+			c.FixedCoreFreq = 1.2 * vf.GHz
+			if pi == 2 {
+				c.FixedCoreFreq = 1.3 * vf.GHz
+			}
+		}).
+		RunContext(ctx, Engine())
 	if err != nil {
 		return out, err
 	}
 	for i, name := range fig2Workloads {
-		base, md, md13 := rs[3*i], rs[3*i+1], rs[3*i+2]
+		base, md, md13 := rs.Result(i, 0), rs.Result(i, 1), rs.Result(i, 2)
 		out.Rows = append(out.Rows, Fig2aRow{
 			Name:        name,
 			PowerDelta:  float64(md.AvgPower/base.AvgPower) - 1,

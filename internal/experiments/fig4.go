@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sysscale/internal/policy"
@@ -29,20 +30,17 @@ type Fig4Result struct {
 // 1.2GHz and runs the STREAM-like microbenchmark twice: once with the
 // per-frequency trained register image, once keeping the boot (1.6GHz)
 // image — the Observation 4 failure mode.
-func Fig4() (Fig4Result, error) {
-	w := workload.Stream()
-	pin := func(c *soc.Config) { c.FixedCoreFreq = 1.2 * vf.GHz }
-
+func Fig4(ctx context.Context) (Fig4Result, error) {
 	unoptPolicy := policy.NewStaticPoint(1, false)
 	unoptPolicy.OptimizedMRC = false
-	rs, err := submit([]soc.Config{
-		configFor(w, policy.NewStaticPoint(1, false), pin),
-		configFor(w, unoptPolicy, pin),
-	})
+	rs, err := newSweep(policy.NewStaticPoint(1, false), unoptPolicy).
+		Workloads(workload.Stream()).
+		Configure(func(c *soc.Config) { c.FixedCoreFreq = 1.2 * vf.GHz }).
+		RunContext(ctx, Engine())
 	if err != nil {
 		return Fig4Result{}, err
 	}
-	opt, unopt := rs[0], rs[1]
+	opt, unopt := rs.Result(0, 0), rs.Result(0, 1)
 
 	memOpt := opt.RailAvg[vf.RailVDDQ] + opt.RailAvg[vf.RailVIO]
 	memUnopt := unopt.RailAvg[vf.RailVDDQ] + unopt.RailAvg[vf.RailVIO]

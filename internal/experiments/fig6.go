@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sysscale/internal/core"
+	"sysscale/internal/engine"
 	"sysscale/internal/policy"
 	"sysscale/internal/sim"
 	"sysscale/internal/soc"
@@ -79,7 +81,7 @@ func DefaultFig6Options() Fig6Options {
 }
 
 // Fig6 runs the prediction study.
-func Fig6(opt Fig6Options) (Fig6Result, error) {
+func Fig6(ctx context.Context, opt Fig6Options) (Fig6Result, error) {
 	if opt.PerPanel <= 0 {
 		opt = DefaultFig6Options()
 	}
@@ -88,7 +90,7 @@ func Fig6(opt Fig6Options) (Fig6Result, error) {
 	rng := sim.NewRNG(opt.Seed)
 	for pi, pair := range Fig6Pairs() {
 		for ci, class := range classes {
-			panel, err := fig6Panel(pair, class, opt, rng.Uint64()+uint64(pi*31+ci*7))
+			panel, err := fig6Panel(ctx, pair, class, opt, rng.Uint64()+uint64(pi*31+ci*7))
 			if err != nil {
 				return res, fmt.Errorf("fig6 %s/%v: %w", pair.Name, class, err)
 			}
@@ -99,42 +101,35 @@ func Fig6(opt Fig6Options) (Fig6Result, error) {
 	return res, nil
 }
 
-func fig6Panel(pair Fig6Pair, class workload.Class, opt Fig6Options, seed uint64) (Fig6Panel, error) {
+func fig6Panel(ctx context.Context, pair Fig6Pair, class workload.Class, opt Fig6Options, seed uint64) (Fig6Panel, error) {
 	ws := workload.Synthetic(workload.SyntheticSpec{Class: class, Count: opt.PerPanel, Seed: seed})
 	noise := sim.NewRNG(seed ^ 0xabcdef)
 
 	samples := make([]core.TrainingSample, 0, len(ws))
 	runs := make([]core.CalibrationRun, 0, len(ws))
-	ladder := []vf.OperatingPoint{pair.High, pair.Low}
 
-	// Both static points of every workload as one batch: the panel's
-	// 2×N runs are independent, so the engine fans them out.
-	cfgs := make([]soc.Config, 0, 2*len(ws))
-	for _, w := range ws {
-		cfg := soc.DefaultConfig()
-		cfg.Workload = w
-		cfg.Duration = opt.Duration
-		cfg.Ladder = ladder
-		// Pin compute clocks so both runs differ only in the IO+memory
-		// operating point.
-		cfg.FixedCoreFreq = 2.0 * vf.GHz
-		if class == workload.Graphics {
-			cfg.FixedGfxFreq = 0.85 * vf.GHz
-		}
-
-		cfgHigh := cfg
-		cfgHigh.Policy = policy.NewStaticPoint(0, false)
-		cfgLow := cfg
-		cfgLow.Policy = policy.NewStaticPoint(1, false)
-		cfgs = append(cfgs, cfgHigh, cfgLow)
+	// Both static points of every workload as one sweep: the panel's
+	// 2×N runs are independent, so the engine fans them out. Compute
+	// clocks are pinned so both columns differ only in the IO+memory
+	// operating point.
+	base := soc.DefaultConfig()
+	base.Duration = opt.Duration
+	base.Ladder = []vf.OperatingPoint{pair.High, pair.Low}
+	base.FixedCoreFreq = 2.0 * vf.GHz
+	if class == workload.Graphics {
+		base.FixedGfxFreq = 0.85 * vf.GHz
 	}
-	rs, err := submit(cfgs)
+	rs, err := engine.NewSweep().
+		Base(base).
+		Policies(policy.NewStaticPoint(0, false), policy.NewStaticPoint(1, false)).
+		Workloads(ws...).
+		RunContext(ctx, Engine())
 	if err != nil {
 		return Fig6Panel{}, err
 	}
 
 	for i := range ws {
-		high, low := rs[2*i], rs[2*i+1]
+		high, low := rs.Result(i, 0), rs.Result(i, 1)
 		if high.Score <= 0 {
 			continue
 		}

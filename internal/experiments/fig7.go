@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sysscale/internal/policy"
@@ -39,37 +40,35 @@ type Fig7Result struct {
 }
 
 // Fig7 runs the full SPEC CPU2006 suite: the four closed-loop policies
-// of every benchmark as one batch, then the §6 scalability probes as a
+// of every benchmark as one sweep, then the §6 scalability probes as a
 // second batch (they depend on the baseline results), then the
 // projections — whose probe runs resolve from the engine cache.
-func Fig7() (Fig7Result, error) {
+func Fig7(ctx context.Context) (Fig7Result, error) {
 	var res Fig7Result
 	high, low := vf.HighPoint(), vf.LowPoint()
 	ws := workload.SPECSuite()
 
-	m, err := runMatrix(ws, []soc.Policy{
+	m, err := newSweep(
 		policy.NewBaseline(),
 		policy.NewSysScaleDefault(),
 		policy.NewMemScaleRedist(),
 		policy.NewCoScaleRedist(),
-	}, nil)
+	).Workloads(ws...).RunContext(ctx, Engine())
 	if err != nil {
 		return res, err
 	}
 
 	baseCfgs := make([]soc.Config, len(ws))
-	bases := make([]soc.Result, len(ws))
 	for i, w := range ws {
 		baseCfgs[i] = configFor(w, policy.NewBaseline(), nil)
-		bases[i] = m[i][0]
 	}
-	if err := prewarmProbes(baseCfgs, bases, false); err != nil {
+	if err := prewarmProbes(ctx, baseCfgs, m.Col(0), false); err != nil {
 		return res, err
 	}
 
-	run := Engine().Run
+	run := engineRun(ctx)
 	for i, w := range ws {
-		base, sys, simMem, simCo := m[i][0], m[i][1], m[i][2], m[i][3]
+		base, sys, simMem, simCo := m.Result(i, 0), m.Result(i, 1), m.Result(i, 2), m.Result(i, 3)
 		row := Fig7Row{
 			Name:         w.Name,
 			SysScale:     soc.PerfImprovement(sys, base),

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sysscale/internal/policy"
@@ -26,28 +27,32 @@ type Fig8Row struct {
 // lowest frequency so CoScale cannot scale it further).
 type Fig8Result struct{ Rows []Fig8Row }
 
-// Fig8 runs the three 3DMark workloads as one batch, then the graphics
+// Fig8 runs the three 3DMark workloads as one sweep, then the graphics
 // scalability probes, then the projections (probe runs cached).
-func Fig8() (Fig8Result, error) {
+func Fig8(ctx context.Context) (Fig8Result, error) {
 	var res Fig8Result
 	high, low := vf.HighPoint(), vf.LowPoint()
 	ws := workload.GraphicsSuite()
 
-	base, sys, err := pairSuite(ws, nil)
+	rs, err := newSweep(policy.NewBaseline(), policy.NewSysScaleDefault()).
+		Workloads(ws...).
+		RunContext(ctx, Engine())
 	if err != nil {
 		return res, err
 	}
+	base, sys := rs.Col(0), rs.Col(1)
 	baseCfgs := make([]soc.Config, len(ws))
 	for i, w := range ws {
 		baseCfgs[i] = configFor(w, policy.NewBaseline(), nil)
 	}
-	if err := prewarmProbes(baseCfgs, base, true); err != nil {
+	if err := prewarmProbes(ctx, baseCfgs, base, true); err != nil {
 		return res, err
 	}
 
-	run := Engine().Run
+	run := engineRun(ctx)
+	perf := rs.PerfImprovement(0)
 	for i, w := range ws {
-		row := Fig8Row{Name: w.Name, SysScale: soc.PerfImprovement(sys[i], base[i])}
+		row := Fig8Row{Name: w.Name, SysScale: perf.Values[1][i]}
 		if base[i].AvgGfxFreq > 0 {
 			row.AvgGfxBoost = float64(sys[i].AvgGfxFreq)/float64(base[i].AvgGfxFreq) - 1
 		}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sysscale/internal/ioengine"
+	"sysscale/internal/policy"
 	"sysscale/internal/soc"
 	"sysscale/internal/stats"
 	"sysscale/internal/vf"
@@ -25,27 +27,32 @@ type Fig9Row struct {
 // 6.4/9.5/7.6/10.7%, prior work ~1.3-2.1%).
 type Fig9Result struct{ Rows []Fig9Row }
 
-// Fig9 runs the battery suite as one batch. Video conferencing
+// Fig9 runs the battery suite as one sweep. Video conferencing
 // additionally raises the static demand floor through the camera CSR.
-func Fig9() (Fig9Result, error) {
+func Fig9(ctx context.Context) (Fig9Result, error) {
 	var res Fig9Result
 	high, low := vf.HighPoint(), vf.LowPoint()
 	ws := workload.BatterySuite()
-	base, sys, err := pairSuite(ws, func(w workload.Workload, c *soc.Config) {
-		if w.Name == "video-conf" {
-			csr := c.CSR
-			csr.Camera = ioengine.Camera720p
-			c.CSR = csr
-		}
-	})
+	rs, err := newSweep(policy.NewBaseline(), policy.NewSysScaleDefault()).
+		Workloads(ws...).
+		ConfigureCell(func(w workload.Workload, _ int, c *soc.Config) {
+			if w.Name == "video-conf" {
+				csr := c.CSR
+				csr.Camera = ioengine.Camera720p
+				c.CSR = csr
+			}
+		}).
+		RunContext(ctx, Engine())
 	if err != nil {
 		return res, err
 	}
+	base, sys := rs.Col(0), rs.Col(1)
+	power := rs.PowerReduction(0)
 	for i, w := range ws {
 		memSave := soc.MemScaleProjectedSavings(base[i], high, low)
 		row := Fig9Row{
 			Name:      w.Name,
-			SysScale:  soc.PowerReduction(sys[i], base[i]),
+			SysScale:  power.Values[1][i],
 			MemScaleR: soc.ProjectedPowerReduction(base[i], memSave),
 			PerfMet:   sys[i].PerfMet,
 			BaseWatts: float64(base[i].AvgPower),

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -75,7 +76,7 @@ func checkGolden(t *testing.T, name string, got any) {
 }
 
 func TestGoldenFig2a(t *testing.T) {
-	r, err := Fig2a()
+	r, err := Fig2a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestGoldenFig2a(t *testing.T) {
 }
 
 func TestGoldenFig7(t *testing.T) {
-	r, err := Fig7()
+	r, err := Fig7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestGoldenFig7(t *testing.T) {
 }
 
 func TestGoldenFig8(t *testing.T) {
-	r, err := Fig8()
+	r, err := Fig8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestGoldenFig8(t *testing.T) {
 func TestGoldenMonteCarlo(t *testing.T) {
 	opt := DefaultMonteCarloOptions()
 	opt.N = 25
-	r, err := MonteCarlo(opt)
+	r, err := MonteCarlo(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}

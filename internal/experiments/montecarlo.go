@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sysscale/internal/policy"
@@ -93,8 +94,8 @@ type MonteCarloResult struct {
 }
 
 // MonteCarlo runs the robustness sweep: N generated workloads × (1 +
-// len(Policies)) governors as one engine batch.
-func MonteCarlo(opt MonteCarloOptions) (MonteCarloResult, error) {
+// len(Policies)) governors as one engine sweep.
+func MonteCarlo(ctx context.Context, opt MonteCarloOptions) (MonteCarloResult, error) {
 	opt = opt.withDefaults()
 
 	gcfg := gen.DefaultConfig(opt.Seed)
@@ -111,26 +112,25 @@ func MonteCarlo(opt MonteCarloOptions) (MonteCarloResult, error) {
 	ws := gen.GenerateN(gcfg, opt.N)
 
 	ps := append([]soc.Policy{policy.NewBaseline()}, opt.Policies...)
-	m, err := runMatrix(ws, ps, nil)
+	m, err := newSweep(ps...).Workloads(ws...).RunContext(ctx, Engine())
 	if err != nil {
 		return res, err
 	}
+
+	// The four outcome matrices, each keyed [policy][workload] against
+	// the baseline column.
+	perfC := m.PerfImprovement(0)
+	powerC := m.PowerReduction(0)
+	energyC := m.Compare("energy reduction", 0, soc.EnergyReduction)
+	edpC := m.EDPImprovement(0)
 
 	var perfMet, runs int
 	for pi, p := range opt.Policies {
 		col := pi + 1 // column 0 is the baseline
 		mp := MonteCarloPolicy{Name: p.Name()}
-		perf := make([]float64, 0, opt.N)
-		power := make([]float64, 0, opt.N)
-		energy := make([]float64, 0, opt.N)
-		edp := make([]float64, 0, opt.N)
+		perf := perfC.Values[col]
 		for wi := range ws {
-			base, r := m[wi][0], m[wi][col]
-			pv := soc.PerfImprovement(r, base)
-			perf = append(perf, pv)
-			power = append(power, soc.PowerReduction(r, base))
-			energy = append(energy, soc.EnergyReduction(r, base))
-			edp = append(edp, soc.EDPImprovement(r, base))
+			pv := perf[wi]
 			if pv < -0.01 {
 				mp.Regressions++
 			}
@@ -138,15 +138,15 @@ func MonteCarlo(opt MonteCarloOptions) (MonteCarloResult, error) {
 				mp.WorstPerf = pv
 				mp.WorstName = ws[wi].Name
 			}
-			if r.PerfMet {
+			if m.Result(wi, col).PerfMet {
 				perfMet++
 			}
 			runs++
 		}
 		mp.Perf = stats.Summarize(perf)
-		mp.Power = stats.Summarize(power)
-		mp.Energy = stats.Summarize(energy)
-		mp.EDP = stats.Summarize(edp)
+		mp.Power = stats.Summarize(powerC.Values[col])
+		mp.Energy = stats.Summarize(energyC.Values[col])
+		mp.EDP = stats.Summarize(edpC.Values[col])
 		res.Policies = append(res.Policies, mp)
 	}
 	if runs > 0 {

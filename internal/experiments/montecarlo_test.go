@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -24,13 +25,13 @@ func TestMonteCarloDeterministicAcrossParallelism(t *testing.T) {
 	opt.Seed = 123
 
 	SetParallelism(1)
-	seq, err := MonteCarlo(opt)
+	seq, err := MonteCarlo(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{4, 13} {
 		SetParallelism(workers)
-		par, err := MonteCarlo(opt)
+		par, err := MonteCarlo(context.Background(), opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -39,7 +40,7 @@ func TestMonteCarloDeterministicAcrossParallelism(t *testing.T) {
 		}
 	}
 	// Repeat runs on one engine must also be stable (cache-served).
-	again, err := MonteCarlo(opt)
+	again, err := MonteCarlo(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestMonteCarloDeterministicAcrossParallelism(t *testing.T) {
 
 func TestMonteCarloShape(t *testing.T) {
 	opt := MonteCarloOptions{N: 12, Seed: 5}
-	r, err := MonteCarlo(opt)
+	r, err := MonteCarlo(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestMonteCarloRoundTripThroughTrace(t *testing.T) {
 
 func TestMonteCarloCustomPolicies(t *testing.T) {
 	opt := MonteCarloOptions{N: 6, Seed: 2, Policies: []soc.Policy{policy.NewSysScaleDefault()}}
-	r, err := MonteCarlo(opt)
+	r, err := MonteCarlo(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,14 +116,14 @@ func TestMonteCarloCustomPolicies(t *testing.T) {
 // the effective seed is echoed in the result.
 func TestMonteCarloGenSeedWins(t *testing.T) {
 	gcfg := gen.DefaultConfig(42)
-	r, err := MonteCarlo(MonteCarloOptions{N: 3, Gen: &gcfg})
+	r, err := MonteCarlo(context.Background(), MonteCarloOptions{N: 3, Gen: &gcfg})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Seed != 42 {
 		t.Fatalf("effective seed %d, want Gen.Seed 42", r.Seed)
 	}
-	direct, err := MonteCarlo(MonteCarloOptions{N: 3, Seed: 42})
+	direct, err := MonteCarlo(context.Background(), MonteCarloOptions{N: 3, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestMonteCarloGenSeedWins(t *testing.T) {
 	}
 	// A zero Gen.Seed falls back to opt.Seed.
 	gcfg.Seed = 0
-	r, err = MonteCarlo(MonteCarloOptions{N: 3, Seed: 9, Gen: &gcfg})
+	r, err = MonteCarlo(context.Background(), MonteCarloOptions{N: 3, Seed: 9, Gen: &gcfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestMonteCarloGenSeedWins(t *testing.T) {
 func TestMonteCarloRejectsBadGenConfig(t *testing.T) {
 	bad := gen.DefaultConfig(1)
 	bad.MinDwell = 2 * bad.MaxDwell
-	if _, err := MonteCarlo(MonteCarloOptions{N: 2, Gen: &bad}); err == nil {
+	if _, err := MonteCarlo(context.Background(), MonteCarloOptions{N: 2, Gen: &bad}); err == nil {
 		t.Fatal("invalid generator config accepted")
 	}
 }

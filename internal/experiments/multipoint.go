@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -87,8 +88,8 @@ func (w *stepWatcher) Decide(ctx soc.PolicyContext) soc.PolicyDecision {
 var multiPointWorkloads = []string{"416.gamess", "473.astar", "403.gcc", "470.lbm"}
 
 // MultiPoint runs the comparison: baseline, two-point SysScale and the
-// watched three-point SysScale for every workload, as one batch.
-func MultiPoint() (MultiPointResult, error) {
+// watched three-point SysScale for every workload, as one sweep.
+func MultiPoint(ctx context.Context) (MultiPointResult, error) {
 	var res MultiPointResult
 	ws := make([]workload.Workload, 0, len(multiPointWorkloads))
 	for _, name := range multiPointWorkloads {
@@ -99,19 +100,20 @@ func MultiPoint() (MultiPointResult, error) {
 		ws = append(ws, w)
 	}
 	watcher := newStepWatcher(policy.NewSysScaleDefault())
-	m, err := runMatrix(ws,
-		[]soc.Policy{policy.NewBaseline(), policy.NewSysScaleDefault(), watcher},
-		func(w workload.Workload, c *soc.Config) {
-			if c.Policy == watcher {
+	m, err := newSweep(policy.NewBaseline(), policy.NewSysScaleDefault(), watcher).
+		Workloads(ws...).
+		ConfigureCell(func(_ workload.Workload, pi int, c *soc.Config) {
+			if pi == 2 { // the watched three-point column
 				c.Ladder = vf.LadderLPDDR3()
 			}
-		})
+		}).
+		RunContext(ctx, Engine())
 	if err != nil {
 		return res, err
 	}
 	res.MaxStep = watcher.MaxStep()
 	for i, w := range ws {
-		base, two, three := m[i][0], m[i][1], m[i][2]
+		base, two, three := m.Result(i, 0), m.Result(i, 1), m.Result(i, 2)
 		res.Rows = append(res.Rows, MultiPointRow{
 			Name:           w.Name,
 			TwoPointGain:   soc.PerfImprovement(two, base),

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sysscale/internal/dram"
@@ -29,7 +30,7 @@ type DRAMSensitivityResult struct {
 }
 
 // DRAMSensitivity computes the budget and degradation comparisons.
-func DRAMSensitivity() (DRAMSensitivityResult, error) {
+func DRAMSensitivity(ctx context.Context) (DRAMSensitivityResult, error) {
 	var res DRAMSensitivityResult
 
 	freed := func(kind dram.Kind, high, low vf.OperatingPoint) (float64, error) {
@@ -69,23 +70,22 @@ func DRAMSensitivity() (DRAMSensitivityResult, error) {
 	// suite sweep is one batch; the shared high-point runs of the
 	// second call come from the engine cache.
 	avgDegr := func(pointIdx int) (float64, error) {
-		mut := func(_ workload.Workload, c *soc.Config) {
-			c.Ladder = vf.LadderLPDDR3()
-			c.FixedCoreFreq = 2.0 * vf.GHz
-		}
-		m, err := runMatrix(workload.SPECSuite(), []soc.Policy{
-			policy.NewStaticPoint(0, false),
-			policy.NewStaticPoint(pointIdx, false),
-		}, mut)
+		rs, err := newSweep(policy.NewStaticPoint(0, false), policy.NewStaticPoint(pointIdx, false)).
+			Workloads(workload.SPECSuite()...).
+			Configure(func(c *soc.Config) {
+				c.Ladder = vf.LadderLPDDR3()
+				c.FixedCoreFreq = 2.0 * vf.GHz
+			}).
+			RunContext(ctx, Engine())
 		if err != nil {
 			return 0, err
 		}
 		var sum float64
-		for _, row := range m {
-			base, lowr := row[0], row[1]
+		for wi := range rs.Workloads {
+			base, lowr := rs.Result(wi, 0), rs.Result(wi, 1)
 			sum += 1 - lowr.Score/base.Score
 		}
-		return sum / float64(len(m)), nil
+		return sum / float64(len(rs.Workloads)), nil
 	}
 	if res.Degrade106, err = avgDegr(1); err != nil {
 		return res, err

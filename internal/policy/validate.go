@@ -1,0 +1,49 @@
+package policy
+
+import (
+	"fmt"
+
+	"sysscale/internal/soc"
+)
+
+// The governors implement soc.PolicyValidator, so a misconfigured
+// policy is rejected by Config.Validate — wrapped in
+// soc.ErrInvalidConfig — before a run starts, instead of silently
+// clamping (StaticPoint used to fall back to the top point on an
+// out-of-range index) or drifting through a sweep with nonsensical
+// thresholds.
+
+// Validate implements soc.PolicyValidator: the pinned index must be a
+// plausible ladder position (the ladder itself is checked against the
+// index at Decide time, where its length is known).
+func (s *StaticPoint) Validate() error {
+	if s.PointIndex < 0 {
+		return fmt.Errorf("negative ladder point index %d", s.PointIndex)
+	}
+	return nil
+}
+
+// Validate implements soc.PolicyValidator: the decision thresholds
+// must pass the core calibration checks and the low-point threshold
+// inflation must be at least 1 (deflating it would make the governor
+// oscillate between points by construction).
+func (s *SysScale) Validate() error {
+	if err := s.Thr.Validate(); err != nil {
+		return err
+	}
+	if s.HighScale < 1 {
+		return fmt.Errorf("high-point threshold scale %.2f below 1", s.HighScale)
+	}
+	return nil
+}
+
+// Validate on the ablation decorators forwards to the wrapped policy.
+func (m *mrcOff) Validate() error   { return validateWrapped(m.inner) }
+func (n *noRedist) Validate() error { return validateWrapped(n.inner) }
+
+func validateWrapped(p soc.Policy) error {
+	if v, ok := p.(soc.PolicyValidator); ok {
+		return v.Validate()
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package soc
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// cancelAfterPolicy behaves like testPolicy but cancels a context on
+// its nth Decide call, so the test can pin cancellation to an exact
+// policy epoch.
+type cancelAfterPolicy struct {
+	testPolicy
+	cancel context.CancelFunc
+	after  int
+	calls  int
+}
+
+func (p *cancelAfterPolicy) Decide(ctx PolicyContext) PolicyDecision {
+	p.calls++
+	if p.calls == p.after {
+		p.cancel()
+	}
+	return p.testPolicy.Decide(ctx)
+}
+
+func (p *cancelAfterPolicy) Clone() Policy {
+	c := *p
+	return &c
+}
+
+// TestRunContextCancelsWithinOneEpoch proves the cancellation
+// granularity contract: a run whose context is cancelled during the
+// nth policy decision returns context.Canceled before the (n+1)th —
+// one epoch of wall-progress, not one tick and not the rest of the
+// run.
+func TestRunContextCancelsWithinOneEpoch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cfg := testConfig(t, "470.lbm")
+	cfg.Duration = 100 * cfg.EvalInterval // far more epochs than the cancel point
+	pol := &cancelAfterPolicy{testPolicy: *highPin(), cancel: cancel, after: 3}
+	cfg.Policy = pol
+
+	_, err := RunContext(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if pol.calls != pol.after {
+		t.Fatalf("policy decided %d times after cancellation at decision %d: run did not stop within one epoch",
+			pol.calls, pol.after)
+	}
+}
+
+// TestRunContextBackgroundIdentical proves the ctx plumbing is free:
+// RunContext with a background context is bit-identical to Run.
+func TestRunContextBackgroundIdentical(t *testing.T) {
+	cfg := testConfig(t, "470.lbm")
+	cfg.Policy = lowPin(true)
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Policy = lowPin(true)
+	got, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("RunContext(Background) diverged from Run")
+	}
+}
+
+// TestRunnerRecoversFromCancelledRun proves a pooled platform
+// abandoned mid-run by cancellation resets bit-identically: the same
+// Runner that was cancelled produces fresh-platform results on its
+// next, uncancelled run.
+func TestRunnerRecoversFromCancelledRun(t *testing.T) {
+	cfg := testConfig(t, "470.lbm")
+	cfg.Duration = 100 * cfg.EvalInterval
+	want, err := Run(withPolicy(cfg, lowPin(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner()
+	ctx, cancel := context.WithCancel(context.Background())
+	pol := &cancelAfterPolicy{testPolicy: *highPin(), cancel: cancel, after: 2}
+	if _, err := r.RunContext(ctx, withPolicy(cfg, pol)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled runner run returned %v, want context.Canceled", err)
+	}
+	cancel()
+
+	got, err := r.Run(withPolicy(cfg, lowPin(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("runner recycled after a cancelled run diverged from a fresh platform")
+	}
+}
+
+// TestValidateWrapsErrInvalidConfig pins the typed-error contract on
+// the validation path.
+func TestValidateWrapsErrInvalidConfig(t *testing.T) {
+	cfg := testConfig(t, "470.lbm")
+	cfg.Policy = highPin()
+	cfg.Duration = -1
+	if _, err := Run(cfg); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("invalid duration returned %v, want ErrInvalidConfig in the chain", err)
+	}
+
+	cfg = testConfig(t, "470.lbm")
+	cfg.Policy = nil
+	if err := cfg.Validate(); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("nil policy returned %v, want ErrInvalidConfig in the chain", err)
+	}
+}
+
+func withPolicy(cfg Config, p Policy) Config {
+	cfg.Policy = p
+	return cfg
+}

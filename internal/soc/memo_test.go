@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"context"
 	"testing"
 
 	"sysscale/internal/sim"
@@ -143,7 +144,7 @@ func TestTickMemoRunSkipsSteadyTicks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.run(); err != nil {
+	if _, err := p.run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if p.evalCalls*10 > nTicks {
@@ -157,7 +158,7 @@ func TestTickMemoRunSkipsSteadyTicks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.run(); err != nil {
+	if _, err := s.run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if s.evalCalls*10 > nTicks {
@@ -171,7 +172,7 @@ func TestTickMemoRunSkipsSteadyTicks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := q.run(); err != nil {
+	if _, err := q.run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if q.evalCalls != nTicks {

@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"context"
 	"fmt"
 
 	"sysscale/internal/cache"
@@ -119,9 +120,18 @@ func NewRunner() *Runner { return &Runner{} }
 // a fresh one, and any configuration the reset path cannot absorb is
 // simulated on a freshly assembled platform instead.
 func (r *Runner) Run(cfg Config) (Result, error) {
+	return r.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation (see RunContext at package
+// level). A run cancelled mid-flight leaves the held platform in a
+// consistent, fully resettable state: the next RunContext reprograms
+// it bit-identically to fresh assembly, so cancellation never poisons
+// a pooled Runner.
+func (r *Runner) RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if r.p != nil {
 		if err := r.p.Reset(cfg); err == nil {
-			return r.p.run()
+			return r.p.run(ctx)
 		}
 		// Any Reset failure — structural incompatibility or a config
 		// error — leaves the platform unusable: discard and assemble
@@ -134,5 +144,5 @@ func (r *Runner) Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	r.p = p
-	return p.run()
+	return p.run(ctx)
 }

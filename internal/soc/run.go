@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,11 +20,21 @@ import (
 
 // Run simulates one workload under one policy and returns the Result.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: the simulation checks ctx at
+// every policy-evaluation boundary (spans never cross an epoch, so the
+// check also bounds the span-batched core) and unwinds within one
+// policy epoch of wall-progress once ctx is done, returning ctx.Err().
+// The platform state is left consistent — a cancelled pooled platform
+// resets bit-identically for its next run.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	p, err := newPlatform(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return p.run()
+	return p.run(ctx)
 }
 
 // RunFunc is the signature of Run. Call sites that execute auxiliary
@@ -53,7 +64,7 @@ type tickEval struct {
 	c2BW   float64 // achieved memory bytes during C2
 }
 
-func (p *Platform) run() (Result, error) {
+func (p *Platform) run(ctx context.Context) (Result, error) {
 	cfg := p.cfg
 	cfg.Policy.Reset()
 
@@ -120,6 +131,12 @@ func (p *Platform) run() (Result, error) {
 		// Policy evaluation at interval boundaries. Spans never cross an
 		// epoch boundary, so every multiple of evalEvery starts a span.
 		if i%evalEvery == 0 {
+			// Cancellation is observed here, once per policy epoch: a
+			// cancelled run unwinds within one epoch of wall-progress and
+			// costs the hot loop nothing between decisions.
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
 			now := p.clock.Now()
 			avg, n := p.counters.WindowAverage()
 			if n == 0 {

@@ -174,36 +174,42 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Every rejection wraps
+// ErrInvalidConfig, so callers can classify failures with errors.Is.
 func (c Config) Validate() error {
 	if c.TDP <= 0 {
-		return fmt.Errorf("soc: non-positive TDP")
+		return fmt.Errorf("%w: non-positive TDP", ErrInvalidConfig)
 	}
 	if len(c.Ladder) == 0 {
-		return fmt.Errorf("soc: empty operating-point ladder")
+		return fmt.Errorf("%w: empty operating-point ladder", ErrInvalidConfig)
 	}
 	for _, op := range c.Ladder {
 		if err := op.Validate(); err != nil {
-			return err
+			return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 		}
 		if !c.DRAMKind.SupportsBin(op.DDR) {
-			return fmt.Errorf("soc: ladder point %s uses unsupported bin %v", op.Name, op.DDR)
+			return fmt.Errorf("%w: ladder point %s uses unsupported bin %v", ErrInvalidConfig, op.Name, op.DDR)
 		}
 	}
 	if c.Policy == nil {
-		return fmt.Errorf("soc: nil policy")
+		return fmt.Errorf("%w: nil policy", ErrInvalidConfig)
+	}
+	if v, ok := c.Policy.(PolicyValidator); ok {
+		if err := v.Validate(); err != nil {
+			return fmt.Errorf("%w: policy %s: %w", ErrInvalidConfig, c.Policy.Name(), err)
+		}
 	}
 	if err := c.Workload.Validate(); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
 	if c.Duration <= 0 {
-		return fmt.Errorf("soc: non-positive duration")
+		return fmt.Errorf("%w: non-positive duration", ErrInvalidConfig)
 	}
 	if c.EvalInterval <= 0 || c.SampleInterval <= 0 {
-		return fmt.Errorf("soc: non-positive interval")
+		return fmt.Errorf("%w: non-positive interval", ErrInvalidConfig)
 	}
 	if c.SampleInterval > c.EvalInterval {
-		return fmt.Errorf("soc: sample interval exceeds evaluation interval")
+		return fmt.Errorf("%w: sample interval exceeds evaluation interval", ErrInvalidConfig)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -308,7 +309,7 @@ func TestEventLogRecordsFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.run(); err != nil {
+	if _, err := p.run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := p.EventLog().Find("self-refresh"); !ok {

@@ -43,6 +43,17 @@
 // Repeated configurations (baselines shared across comparisons) are
 // simulated once and served from the engine's result cache afterwards.
 //
+// The Run API v2 surface adds cancellation, streaming and sweep
+// composition on top: RunContext/RunBatchContext thread a
+// context.Context into the simulation loop (a cancelled run unwinds
+// within one policy epoch), Stream delivers per-job results as they
+// complete so unbounded sweeps run in O(parallelism) memory, NewSweep
+// builds policy × workload cross-products with comparison matrices,
+// and failures carry types — *JobError, ErrInvalidConfig,
+// context.Canceled — instead of strings. The quick-start snippets
+// above, and one example per pillar, are compiled and run as Example
+// functions under examples/.
+//
 // Inside a run, the simulator memoizes the per-tick fixpoint
 // evaluation while the platform programming is unchanged between PMU
 // decisions (the steady-state fast path), and batches runs of
@@ -60,6 +71,7 @@
 package sysscale
 
 import (
+	"context"
 	"io"
 
 	"sysscale/internal/core"
@@ -147,8 +159,20 @@ func DefaultConfig() Config { return soc.DefaultConfig() }
 // Run simulates one workload under one policy.
 func Run(cfg Config) (Result, error) { return soc.Run(cfg) }
 
+// RunContext is Run with cancellation: the simulation checks ctx at
+// every policy-evaluation boundary and unwinds within one policy epoch
+// of wall-progress once ctx is done, returning ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	return soc.RunContext(ctx, cfg)
+}
+
 // MustRun is Run that panics on error.
 func MustRun(cfg Config) Result { return soc.MustRun(cfg) }
+
+// ErrInvalidConfig is wrapped by every configuration-validation
+// failure: errors.Is(err, ErrInvalidConfig) separates "this config can
+// never run" from runtime failures such as cancellation.
+var ErrInvalidConfig = soc.ErrInvalidConfig
 
 // Batch execution types.
 type (
@@ -157,10 +181,26 @@ type (
 	Engine = engine.Engine
 	// Job is one unit of Engine batch work.
 	Job = engine.Job
+	// JobResult is one job's streamed outcome: input index plus Result
+	// or error, delivered by Stream as each simulation completes.
+	JobResult = engine.JobResult
+	// JobError reports which batch job failed and why; errors.As
+	// recovers it from any batch-path error, and its chain exposes
+	// ErrInvalidConfig and context cancellation to errors.Is.
+	JobError = engine.JobError
 	// EngineOption configures NewEngine.
 	EngineOption = engine.Option
 	// EngineStats is the snapshot returned by Engine.CacheStats.
 	EngineStats = engine.Stats
+	// Sweep declaratively builds a policy × workload cross-product and
+	// runs it as one engine batch. Construct with NewSweep.
+	Sweep = engine.Sweep
+	// ResultSet is a completed Sweep: the result matrix plus the
+	// comparison helpers (PerfImprovement, PowerReduction,
+	// EDPImprovement) keyed by policy and workload.
+	ResultSet = engine.ResultSet
+	// Comparison is a ResultSet comparison matrix.
+	Comparison = engine.Comparison
 )
 
 // NewEngine returns a run engine with the given options.
@@ -174,28 +214,85 @@ func WithParallelism(n int) EngineOption { return engine.WithParallelism(n) }
 // (enabled by default).
 func WithCache(enabled bool) EngineOption { return engine.WithCache(enabled) }
 
-// defaultEngine backs the package-level RunBatch, so batch results are
-// memoized process-wide.
+// defaultEngine backs the package-level batch entry points (RunBatch,
+// RunBatchContext, Stream), so batch results are memoized
+// process-wide.
 var defaultEngine = engine.New()
+
+// DefaultEngine returns the process-wide engine behind RunBatch,
+// RunBatchContext and Stream, for cache statistics and direct batch
+// submission.
+//
+// Its memoizing cache grows without bound: every distinct Config ever
+// batched through the package-level entry points stays resident (a
+// Result plus its key) for the life of the process. That is the right
+// trade for the experiment harness — the same baselines recur across
+// every figure — but a service sweeping an unbounded config space must
+// either call ClearCache between sweeps or construct a private
+// NewEngine(WithCache(false)).
+func DefaultEngine() *Engine { return defaultEngine }
+
+// ClearCache drops every result memoized by the default engine. Call
+// it between sweeps of unbounded config spaces to bound memory.
+func ClearCache() { defaultEngine.ClearCache() }
+
+// CacheStats snapshots the default engine's cache counters — watch
+// Entries to decide when ClearCache is due.
+func CacheStats() EngineStats { return defaultEngine.CacheStats() }
 
 // RunBatch simulates the configurations concurrently with bounded
 // parallelism and returns their results in input order. The batch is
 // deterministic: whatever the worker count, the results are identical
 // to running each config sequentially through Run. Policies are cloned
 // per job, so configs may share one Policy value. On the first failure
-// RunBatch stops scheduling work and returns the error.
+// RunBatch stops scheduling work and returns a *JobError identifying
+// the failed job.
 //
 // The shared engine memoizes every distinct config's result for the
-// life of the process. Callers sweeping an unbounded config space
-// should construct their own engine — NewEngine(WithCache(false)), or
-// with periodic ClearCache calls — to bound memory.
+// life of the process (see DefaultEngine for the growth implications).
 func RunBatch(cfgs []Config) ([]Result, error) {
+	return RunBatchContext(context.Background(), cfgs)
+}
+
+// RunBatchContext is RunBatch with cancellation: once ctx is done the
+// engine stops scheduling jobs, in-flight simulations unwind within
+// one policy epoch, every pooled platform is returned, and the call
+// reports ctx.Err().
+func RunBatchContext(ctx context.Context, cfgs []Config) ([]Result, error) {
+	return defaultEngine.RunBatchContext(ctx, jobsFor(cfgs))
+}
+
+// StreamBatch simulates the configurations through the default engine
+// and delivers one JobResult per config as each completes (completion
+// order; JobResult.Index maps back to cfgs). Unlike RunBatch, results
+// are not accumulated: an unbounded sweep runs in O(parallelism)
+// result memory — modulo the default engine's cache; see
+// DefaultEngine — and per-job failures arrive as JobResult.Err
+// without stopping the stream. The consumer must drain the channel to
+// its close or cancel ctx; abandoning the channel with a live ctx
+// leaks the stream's workers (see Engine.Stream for the full
+// contract). (The name avoids Stream, which is the STREAM
+// microbenchmark workload.)
+func StreamBatch(ctx context.Context, cfgs []Config) <-chan JobResult {
+	return defaultEngine.Stream(ctx, jobsFor(cfgs))
+}
+
+func jobsFor(cfgs []Config) []Job {
 	jobs := make([]Job, len(cfgs))
 	for i, c := range cfgs {
 		jobs[i] = Job{Config: c}
 	}
-	return defaultEngine.RunBatch(jobs)
+	return jobs
 }
+
+// NewSweep starts a policy × workload cross-product builder:
+//
+//	rs, err := sysscale.NewSweep().
+//		Policies(sysscale.NewBaseline(), sysscale.NewSysScale()).
+//		Workloads(sysscale.SPECSuite()...).
+//		RunContext(ctx, sysscale.DefaultEngine())
+//	gain := rs.PerfImprovement(0) // matrix vs the baseline column
+func NewSweep() *Sweep { return engine.NewSweep() }
 
 // NewBaseline returns the evaluation baseline: IO and memory domains
 // pinned at the highest operating point with worst-case reservations.

@@ -2,6 +2,8 @@ package sysscale_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -242,5 +244,94 @@ func TestGeneratorThroughPublicAPI(t *testing.T) {
 	}
 	if res.Score <= 0 {
 		t.Fatalf("generated workload scored %v", res.Score)
+	}
+}
+
+// TestRunAPIv2Surface exercises the v2 entry points end to end through
+// the facade: context cancellation, streaming, the sweep builder, the
+// default-engine cache controls, and the typed error taxonomy.
+func TestRunAPIv2Surface(t *testing.T) {
+	w, err := sysscale.SPEC("416.gamess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sysscale.DefaultConfig()
+	cfg.Workload = w
+	cfg.Policy = sysscale.NewSysScale()
+	cfg.Duration = 300 * sysscale.Millisecond
+
+	// RunContext with a live context matches Run bit-for-bit; with a
+	// dead context it reports context.Canceled.
+	want, err := sysscale.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sysscale.RunContext(context.Background(), cfg)
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("RunContext diverged from Run (err %v)", err)
+	}
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sysscale.RunContext(dead, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunContext returned %v", err)
+	}
+	if _, err := sysscale.RunBatchContext(dead, []sysscale.Config{cfg}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunBatchContext returned %v", err)
+	}
+
+	// StreamBatch delivers every config exactly once with batch-equal
+	// results.
+	cfgs := []sysscale.Config{cfg, cfg, cfg}
+	seen := 0
+	for jr := range sysscale.StreamBatch(context.Background(), cfgs) {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", jr.Index, jr.Err)
+		}
+		if !reflect.DeepEqual(jr.Result, want) {
+			t.Fatalf("job %d streamed a different result", jr.Index)
+		}
+		seen++
+	}
+	if seen != len(cfgs) {
+		t.Fatalf("stream delivered %d of %d jobs", seen, len(cfgs))
+	}
+
+	// The default engine is observable and drainable.
+	if sysscale.DefaultEngine() == nil {
+		t.Fatal("DefaultEngine is nil")
+	}
+	if s := sysscale.CacheStats(); s.Entries == 0 {
+		t.Fatalf("cache empty after batches: %+v", s)
+	}
+	sysscale.ClearCache()
+	if s := sysscale.CacheStats(); s.Entries != 0 {
+		t.Fatalf("ClearCache left %d entries", s.Entries)
+	}
+
+	// Sweep builder + comparison matrix.
+	rs, err := sysscale.NewSweep().
+		Policies(sysscale.NewBaseline(), sysscale.NewSysScale()).
+		Workloads(w).
+		Configure(func(c *sysscale.Config) { c.Duration = 300 * sysscale.Millisecond }).
+		RunContext(context.Background(), sysscale.DefaultEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf := rs.PerfImprovement(0)
+	if v, ok := perf.Value("sysscale", w.Name); !ok || v <= 0 {
+		t.Fatalf("sweep perf matrix = (%v, %v), want a positive sysscale gain", v, ok)
+	}
+
+	// Typed errors: invalid configs wrap ErrInvalidConfig and identify
+	// the job; cancellation is distinguishable.
+	bad := cfg
+	bad.Duration = -1
+	_, err = sysscale.RunBatch([]sysscale.Config{cfg, bad})
+	var je *sysscale.JobError
+	if !errors.As(err, &je) || je.Index != 1 {
+		t.Fatalf("batch error %v does not identify job 1 via *JobError", err)
+	}
+	if !errors.Is(err, sysscale.ErrInvalidConfig) || errors.Is(err, context.Canceled) {
+		t.Fatalf("batch error %v misclassified", err)
 	}
 }
