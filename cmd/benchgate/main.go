@@ -1,7 +1,7 @@
 // Command benchgate is the benchmark-regression gate: it parses
-// `go test -bench` output and compares ns/op (and allocs/op, for
-// reporting) against a committed baseline snapshot, failing when a
-// gated benchmark regresses beyond the tolerance.
+// `go test -bench` output and compares ns/op and allocs/op against a
+// committed baseline snapshot, failing when a gated benchmark
+// regresses beyond the tolerance.
 //
 // Usage:
 //
@@ -24,6 +24,16 @@
 // (a stable, optimization-free code path); every measured ns/op is
 // scaled by baselineCal/measuredCal before comparison, so the gate
 // tests the machine-relative ratio rather than raw nanoseconds.
+//
+// allocs/op is gated independently (-alloc-tolerance): allocation
+// counts are machine-independent — the same binary allocates the same
+// on every machine — so they are compared raw, never calibrated,
+// making the alloc gate the one check that is exact even on shared CI
+// runners. A gated benchmark fails when its measured allocs/op exceed
+// baseline × (1 + alloc-tolerance) + 1; the +1 absorbs sync.Pool
+// cold-start jitter on near-zero counts while staying negligible at
+// realistic ones. Benchmarks whose input carries no allocs/op field
+// (run without -benchmem) skip the alloc gate.
 package main
 
 import (
@@ -38,7 +48,9 @@ import (
 	"strings"
 )
 
-// Entry is one benchmark's recorded performance.
+// Entry is one benchmark's recorded performance. AllocsPerOp is -1
+// when the run carried no allocation data (no -benchmem), which
+// disables the alloc gate for that entry.
 type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
@@ -80,7 +92,7 @@ func parseBench(lines *bufio.Scanner) map[string]Entry {
 		if err != nil {
 			continue
 		}
-		e := Entry{NsPerOp: ns}
+		e := Entry{NsPerOp: ns, AllocsPerOp: -1}
 		if a := allocsField.FindStringSubmatch(m[3]); a != nil {
 			e.AllocsPerOp, _ = strconv.ParseFloat(a[1], 64)
 		}
@@ -98,6 +110,7 @@ func main() {
 	update := flag.Bool("update", false, "rewrite the baseline from the measured numbers")
 	label := flag.String("label", "", "trajectory label used with -update (e.g. \"PR 5\")")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed ns/op regression fraction before the gate fails")
+	allocTolerance := flag.Float64("alloc-tolerance", 0.05, "allowed allocs/op regression fraction (never calibrated; +1 absolute slack)")
 	calibrate := flag.String("calibrate", "", "benchmark used to normalize for machine speed (must be in the baseline and the input)")
 	flag.Parse()
 
@@ -175,14 +188,22 @@ func main() {
 		ratio := got.NsPerOp * scale / want.NsPerOp
 		status := "ok"
 		if ratio > 1+*tolerance {
-			status = "REGRESSION"
+			status = "ns REGRESSION"
+			failed = true
+		}
+		// Alloc counts are deterministic and machine-independent: gate
+		// them raw (no calibration), whenever both sides measured them.
+		if got.AllocsPerOp >= 0 && want.AllocsPerOp >= 0 &&
+			got.AllocsPerOp > want.AllocsPerOp*(1+*allocTolerance)+1 {
+			status = "allocs REGRESSION"
 			failed = true
 		}
 		fmt.Printf("  %-40s %12.0f ns/op  baseline %12.0f  (%+.1f%%, allocs %.0f vs %.0f) %s\n",
 			name, got.NsPerOp, want.NsPerOp, 100*(ratio-1), got.AllocsPerOp, want.AllocsPerOp, status)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchgate: ns/op regression beyond %.0f%% against %s\n", 100**tolerance, *baselinePath)
+		fmt.Fprintf(os.Stderr, "benchgate: regression beyond ns tolerance %.0f%% / alloc tolerance %.0f%% against %s\n",
+			100**tolerance, 100**allocTolerance, *baselinePath)
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: pass")

@@ -28,6 +28,7 @@
 package engine
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -92,10 +93,23 @@ func WithParallelism(n int) Option {
 
 // WithCache enables or disables result memoization and in-batch
 // coalescing (enabled by default). Disable it to measure raw
-// simulation throughput in benchmarks, or to run unbounded sweeps in
-// bounded memory (the cache grows with every distinct config).
+// simulation throughput in benchmarks. The span cache is governed
+// separately (it accelerates simulations rather than skipping them);
+// disable it per-run with soc.Config.DisableSpanCache.
 func WithCache(enabled bool) Option {
 	return func(e *Engine) { e.cacheOn = enabled }
+}
+
+// DefaultCacheSize is the result cache's default entry bound.
+const DefaultCacheSize = 8192
+
+// WithCacheSize bounds the result cache to n entries, evicted least-
+// recently-used (n <= 0 selects DefaultCacheSize). The cache is always
+// bounded: an unbounded sweep of distinct configs cycles the cache
+// instead of growing it, so long-lived sweep services no longer need
+// ClearCache discipline to bound memory.
+func WithCacheSize(n int) Option {
+	return func(e *Engine) { e.cacheSize = n }
 }
 
 // Uncacheable is an optional interface a policy implements to opt out
@@ -118,6 +132,26 @@ type Stats struct {
 	Hits int
 	// Misses counts jobs that executed a simulation.
 	Misses int
+	// Evictions counts results dropped by the LRU bound.
+	Evictions int
+
+	// SpanHits/SpanMisses/SpanEntries snapshot the engine's cross-job
+	// span cache: spans applied as cached deltas versus integrated in
+	// full, and distinct spans resident. One job contributes many
+	// spans, so these counters run far ahead of the result-level ones.
+	SpanHits    int
+	SpanMisses  int
+	SpanEntries int
+}
+
+// cacheKey is a config fingerprint (fingerprint.go): a sha256 digest,
+// comparable and heap-free.
+type cacheKey = [32]byte
+
+// cacheEntry is one LRU-resident result.
+type cacheEntry struct {
+	key cacheKey
+	res soc.Result
 }
 
 // Engine executes batches of independent simulations on a bounded
@@ -126,19 +160,64 @@ type Stats struct {
 type Engine struct {
 	parallelism int
 	cacheOn     bool
+	cacheSize   int
 
-	mu    sync.Mutex
-	cache map[string]soc.Result
+	// spans is the engine's cross-job span cache, threaded into every
+	// pooled Runner the engine checks out: spans integrated by one job
+	// are applied as O(1) deltas by every later job whose programming
+	// matches (see soc.SpanCache).
+	spans *soc.SpanCache
+
+	mu sync.Mutex
+	// cache + order form the size-capped LRU over results: cache maps
+	// fingerprints to their list elements; order is most-recently-used
+	// first.
+	cache map[cacheKey]*list.Element
+	order *list.List
 	stats Stats
 }
 
 // New returns an engine with the given options applied.
 func New(opts ...Option) *Engine {
-	e := &Engine{cacheOn: true, cache: make(map[string]soc.Result)}
+	e := &Engine{cacheOn: true}
 	for _, o := range opts {
 		o(e)
 	}
+	if e.cacheSize <= 0 {
+		e.cacheSize = DefaultCacheSize
+	}
+	e.cache = make(map[cacheKey]*list.Element)
+	e.order = list.New()
+	e.spans = soc.NewSpanCache(0)
 	return e
+}
+
+// cacheGet looks key up in the LRU, refreshing its recency on a hit.
+// Callers hold e.mu.
+func (e *Engine) cacheGet(key cacheKey) (soc.Result, bool) {
+	el, ok := e.cache[key]
+	if !ok {
+		return soc.Result{}, false
+	}
+	e.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// cachePut inserts (or refreshes) a result, evicting the least
+// recently used entry beyond the size bound. Callers hold e.mu.
+func (e *Engine) cachePut(key cacheKey, res soc.Result) {
+	if el, ok := e.cache[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		e.order.MoveToFront(el)
+		return
+	}
+	e.cache[key] = e.order.PushFront(&cacheEntry{key: key, res: res})
+	for len(e.cache) > e.cacheSize {
+		back := e.order.Back()
+		e.order.Remove(back)
+		delete(e.cache, back.Value.(*cacheEntry).key)
+		e.stats.Evictions++
+	}
 }
 
 // Parallelism returns the effective worker bound.
@@ -149,22 +228,29 @@ func (e *Engine) Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// CacheStats returns a snapshot of the cache counters.
+// CacheStats returns a snapshot of the cache counters — the result
+// LRU's and the cross-job span cache's.
 func (e *Engine) CacheStats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	s := e.stats
 	s.Entries = len(e.cache)
+	e.mu.Unlock()
+	sc := e.spans.Stats()
+	s.SpanHits = sc.Hits
+	s.SpanMisses = sc.Misses
+	s.SpanEntries = sc.Entries
 	return s
 }
 
-// ClearCache drops every memoized result (the hit/miss counters are
-// kept). Long-lived processes sweeping unbounded config spaces call
-// this between sweeps to bound memory.
+// ClearCache drops every memoized result and every cached span delta
+// (the hit/miss counters are kept). Both caches are bounded, so this
+// is about reclaiming memory promptly, not about preventing growth.
 func (e *Engine) ClearCache() {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.cache = make(map[string]soc.Result)
+	e.cache = make(map[cacheKey]*list.Element)
+	e.order = list.New()
+	e.mu.Unlock()
+	e.spans.Clear()
 }
 
 // Run simulates one configuration through the engine (memoized). It is
@@ -184,11 +270,12 @@ func (e *Engine) RunContext(ctx context.Context, cfg soc.Config) (soc.Result, er
 	return rs[0], nil
 }
 
-// task is one deduplicated simulation: a cache key (empty when the job
-// is uncacheable) plus every input index awaiting its result.
+// task is one deduplicated simulation: a cache key (valid only when
+// cacheable) plus every input index awaiting its result.
 type task struct {
-	key     string
-	indices []int
+	key       cacheKey
+	cacheable bool
+	indices   []int
 }
 
 // RunBatch executes the jobs with bounded parallelism and returns their
@@ -270,9 +357,9 @@ func (e *Engine) RunBatchContext(ctx context.Context, jobs []Job) ([]soc.Result,
 // JobResult per job on the returned channel as each completes
 // (completion order, not input order — JobResult.Index identifies the
 // job). Results are not accumulated anywhere: a sweep of any size runs
-// in O(parallelism) result memory, modulo the engine cache (disable it
-// with WithCache(false), or ClearCache periodically, for unbounded
-// config spaces).
+// in O(parallelism) result memory, modulo the engine cache — itself
+// bounded (WithCacheSize), so even an unbounded config space cycles
+// cache memory instead of growing it.
 //
 // A failed job delivers a JobResult with a *JobError instead of
 // killing the stream; jobs are independent and the remaining jobs
@@ -328,7 +415,7 @@ func (e *Engine) runJobs(ctx context.Context, jobs []Job, deliver func(JobResult
 	// Resolve cache hits (delivered immediately) and coalesce in-batch
 	// duplicates so each unique configuration simulates once.
 	tasks := make([]*task, 0, len(jobs))
-	byKey := make(map[string]*task)
+	byKey := make(map[cacheKey]*task)
 	for i, j := range jobs {
 		if ctx.Err() != nil {
 			return
@@ -350,7 +437,7 @@ func (e *Engine) runJobs(ctx context.Context, jobs []Job, deliver func(JobResult
 			continue
 		}
 		e.mu.Lock()
-		r, hit := e.cache[key]
+		r, hit := e.cacheGet(key)
 		if hit {
 			e.stats.Hits++
 		}
@@ -368,7 +455,7 @@ func (e *Engine) runJobs(ctx context.Context, jobs []Job, deliver func(JobResult
 			e.mu.Unlock()
 			continue
 		}
-		t := &task{key: key, indices: []int{i}}
+		t := &task{key: key, cacheable: true, indices: []int{i}}
 		byKey[key] = t
 		tasks = append(tasks, t)
 	}
@@ -429,6 +516,10 @@ func (e *Engine) execute(ctx context.Context, jobs []Job, t *task, deliver func(
 	cfg := jobs[idx].Config
 	cfg.Policy = cfg.Policy.Clone()
 	runner := runnerPool.Get().(*soc.Runner)
+	// The pool is shared across Engine instances, so the span cache must
+	// be (re-)attached on every checkout — a Runner last driven by a
+	// different engine carries that engine's cache.
+	runner.SetSpanCache(e.spans)
 	runnersInFlight.Add(1)
 	res, err := runner.RunContext(ctx, cfg)
 	runnersInFlight.Add(-1)
@@ -441,8 +532,8 @@ func (e *Engine) execute(ctx context.Context, jobs []Job, t *task, deliver func(
 	}
 	e.mu.Lock()
 	e.stats.Misses++
-	if t.key != "" {
-		e.cache[t.key] = cloneResult(res)
+	if t.cacheable {
+		e.cachePut(t.key, cloneResult(res))
 	}
 	e.mu.Unlock()
 	for _, i := range t.indices {

@@ -2,27 +2,32 @@ package engine
 
 import (
 	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
-	"io"
 	"reflect"
+	"strconv"
+	"sync"
 
 	"sysscale/internal/soc"
 )
 
 // fingerprint derives the canonical cache key of a configuration: a
-// hash over a deterministic deep rendering of every Config field,
-// including the concrete policy's type and configuration. Pointers are
-// dereferenced (never printed as addresses — addresses are reused by
-// the allocator and would alias distinct configs), so two configs with
-// equal contents always collide onto one key.
+// sha256 digest over a deterministic deep rendering of every Config
+// field, including the concrete policy's type and configuration.
+// Pointers are dereferenced (never printed as addresses — addresses
+// are reused by the allocator and would alias distinct configs), so
+// two configs with equal contents always collide onto one key.
 //
 // cacheable is false when the config cannot be keyed soundly: the
 // policy opted out via Uncacheable, or the walk met a value whose
 // semantics a hash cannot capture (func, chan, map, unsafe pointer) or
 // exceeded the depth bound (cyclic structures). Such jobs always
 // simulate.
-func fingerprint(cfg soc.Config) (key string, cacheable bool) {
+//
+// The walk is allocation-free in steady state: it renders into a
+// pooled byte buffer with strconv appenders (no fmt), reads struct
+// metadata through a per-type cache (reflect.Type.Field allocates on
+// every call; the names never change), and digests with the one-shot
+// sha256.Sum256, which keeps the state on the stack.
+func fingerprint(cfg soc.Config) (key cacheKey, cacheable bool) {
 	// Walk the wrapper chain (decorators expose Unwrap, like errors):
 	// a wrapped uncacheable policy is still uncacheable. The walk is
 	// depth-bounded like the value walk below, so a (buggy) cyclic
@@ -30,28 +35,65 @@ func fingerprint(cfg soc.Config) (key string, cacheable bool) {
 	p, depth := cfg.Policy, maxWalkDepth
 	for p != nil {
 		if _, ok := p.(Uncacheable); ok {
-			return "", false
+			return cacheKey{}, false
 		}
 		u, ok := p.(interface{ Unwrap() soc.Policy })
 		if !ok {
 			break
 		}
 		if depth--; depth <= 0 {
-			return "", false
+			return cacheKey{}, false
 		}
 		p = u.Unwrap()
 	}
-	h := sha256.New()
-	if !writeValue(h, reflect.ValueOf(cfg), maxWalkDepth) {
-		return "", false
+	w := fpPool.Get().(*fpWalker)
+	w.buf = w.buf[:0]
+	ok := w.writeValue(reflect.ValueOf(&cfg).Elem(), maxWalkDepth)
+	if ok {
+		key = sha256.Sum256(w.buf)
 	}
-	return hex.EncodeToString(h.Sum(nil)), true
+	fpPool.Put(w)
+	return key, ok
 }
 
 // maxWalkDepth bounds the deep walk; configs are shallow (the deepest
 // path is Config → Workload → Phases → Residency), so hitting the
 // bound means a cyclic custom policy.
 const maxWalkDepth = 24
+
+// fpWalker renders values into a reusable buffer. Pooled: fingerprint
+// runs once per job on the sweep hot path.
+type fpWalker struct {
+	buf []byte
+}
+
+var fpPool = sync.Pool{New: func() any { return &fpWalker{buf: make([]byte, 0, 1024)} }}
+
+// typeInfo caches the identity strings the walk needs for a type:
+// its qualified name and (for structs) its field names. Reading these
+// through reflect.Type allocates on every call; they are immutable,
+// so one lookup per type for the life of the process suffices.
+type typeInfo struct {
+	name   string
+	fields []string
+}
+
+var typeInfos sync.Map // reflect.Type → *typeInfo
+
+func typeInfoFor(t reflect.Type) *typeInfo {
+	if ti, ok := typeInfos.Load(t); ok {
+		return ti.(*typeInfo)
+	}
+	ti := &typeInfo{name: qualifiedTypeName(t)}
+	if t.Kind() == reflect.Struct {
+		ti.fields = make([]string, t.NumField())
+		for i := range ti.fields {
+			ti.fields[i] = t.Field(i).Name
+		}
+	}
+	actual, _ := typeInfos.LoadOrStore(t, ti)
+	return actual.(*typeInfo)
+}
 
 // qualifiedTypeName renders a type's identity with its full import
 // path (e.g. "sysscale/internal/policy.SysScale" rather than
@@ -68,44 +110,46 @@ func qualifiedTypeName(t reflect.Type) string {
 	return t.String()
 }
 
-// writeValue renders v canonically into w, returning false when the
-// value cannot be rendered soundly. Unexported fields are read through
-// the kind-specific accessors, which reflect permits without
-// Interface().
-func writeValue(w io.Writer, v reflect.Value, depth int) bool {
+// writeValue renders v canonically into the walker's buffer, returning
+// false when the value cannot be rendered soundly. Unexported fields
+// are read through the kind-specific accessors, which reflect permits
+// without Interface().
+func (w *fpWalker) writeValue(v reflect.Value, depth int) bool {
 	if depth <= 0 {
 		return false
 	}
 	if !v.IsValid() {
-		io.WriteString(w, "<zero>")
+		w.buf = append(w.buf, "<zero>"...)
 		return true
 	}
 	switch v.Kind() {
 	case reflect.Bool:
-		fmt.Fprintf(w, "%t", v.Bool())
+		w.buf = strconv.AppendBool(w.buf, v.Bool())
 	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		fmt.Fprintf(w, "%d", v.Int())
+		w.buf = strconv.AppendInt(w.buf, v.Int(), 10)
 	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-		fmt.Fprintf(w, "%d", v.Uint())
+		w.buf = strconv.AppendUint(w.buf, v.Uint(), 10)
 	case reflect.Float32, reflect.Float64:
-		// %b is exact (binary mantissa/exponent): no two distinct
+		// 'b' is exact (binary mantissa/exponent): no two distinct
 		// floats share a rendering.
-		fmt.Fprintf(w, "%b", v.Float())
+		w.buf = strconv.AppendFloat(w.buf, v.Float(), 'b', -1, 64)
 	case reflect.Complex64, reflect.Complex128:
 		c := v.Complex()
-		fmt.Fprintf(w, "%b/%b", real(c), imag(c))
+		w.buf = strconv.AppendFloat(w.buf, real(c), 'b', -1, 64)
+		w.buf = append(w.buf, '/')
+		w.buf = strconv.AppendFloat(w.buf, imag(c), 'b', -1, 64)
 	case reflect.String:
-		fmt.Fprintf(w, "%q", v.String())
+		w.buf = strconv.AppendQuote(w.buf, v.String())
 	case reflect.Ptr:
 		if v.IsNil() {
-			io.WriteString(w, "nil")
+			w.buf = append(w.buf, "nil"...)
 			return true
 		}
-		io.WriteString(w, "&")
-		return writeValue(w, v.Elem(), depth-1)
+		w.buf = append(w.buf, '&')
+		return w.writeValue(v.Elem(), depth-1)
 	case reflect.Interface:
 		if v.IsNil() {
-			io.WriteString(w, "nil")
+			w.buf = append(w.buf, "nil"...)
 			return true
 		}
 		// The dynamic type is part of the identity: two policies with
@@ -114,35 +158,40 @@ func writeValue(w io.Writer, v reflect.Value, depth int) bool {
 		// the unqualified package name, so two same-named types from
 		// different packages would alias onto one cache key and return
 		// each other's cached Results.
-		fmt.Fprintf(w, "%s(", qualifiedTypeName(v.Elem().Type()))
-		if !writeValue(w, v.Elem(), depth-1) {
+		w.buf = append(w.buf, typeInfoFor(v.Elem().Type()).name...)
+		w.buf = append(w.buf, '(')
+		if !w.writeValue(v.Elem(), depth-1) {
 			return false
 		}
-		io.WriteString(w, ")")
+		w.buf = append(w.buf, ')')
 	case reflect.Struct:
-		t := v.Type()
-		fmt.Fprintf(w, "%s{", qualifiedTypeName(t))
-		for i := 0; i < v.NumField(); i++ {
-			fmt.Fprintf(w, "%s:", t.Field(i).Name)
-			if !writeValue(w, v.Field(i), depth-1) {
+		ti := typeInfoFor(v.Type())
+		w.buf = append(w.buf, ti.name...)
+		w.buf = append(w.buf, '{')
+		for i, name := range ti.fields {
+			w.buf = append(w.buf, name...)
+			w.buf = append(w.buf, ':')
+			if !w.writeValue(v.Field(i), depth-1) {
 				return false
 			}
-			io.WriteString(w, ",")
+			w.buf = append(w.buf, ',')
 		}
-		io.WriteString(w, "}")
+		w.buf = append(w.buf, '}')
 	case reflect.Slice, reflect.Array:
 		if v.Kind() == reflect.Slice && v.IsNil() {
-			io.WriteString(w, "nil")
+			w.buf = append(w.buf, "nil"...)
 			return true
 		}
-		fmt.Fprintf(w, "[%d:", v.Len())
+		w.buf = append(w.buf, '[')
+		w.buf = strconv.AppendInt(w.buf, int64(v.Len()), 10)
+		w.buf = append(w.buf, ':')
 		for i := 0; i < v.Len(); i++ {
-			if !writeValue(w, v.Index(i), depth-1) {
+			if !w.writeValue(v.Index(i), depth-1) {
 				return false
 			}
-			io.WriteString(w, ",")
+			w.buf = append(w.buf, ',')
 		}
-		io.WriteString(w, "]")
+		w.buf = append(w.buf, ']')
 	default:
 		// Map (nondeterministic iteration), Func, Chan, UnsafePointer:
 		// no sound canonical rendering.

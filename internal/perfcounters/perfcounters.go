@@ -81,6 +81,13 @@ func (f *File) Set(id ID, v float64) { f.current[id] = v }
 // Current returns the live sample.
 func (f *File) Current() Sample { return f.current }
 
+// Restore overwrites the live sample wholesale, leaving the evaluation
+// window untouched. The span-batched simulation core uses it to replay
+// a cached span's counter-file image: the image covers every counter,
+// so Restore is equivalent to the per-counter Set calls that produced
+// it.
+func (f *File) Restore(s Sample) { f.current = s }
+
 // Latch pushes the current sample into the evaluation window; the PMU
 // calls this at its 1ms sampling cadence. It is LatchN with n = 1 —
 // delegating keeps the single-tick and batch paths identical by

@@ -40,6 +40,7 @@ type CoScale struct {
 	credit     savingsCredit
 	coreCredit float64
 	demoted    vf.Hz // sticky demotion target while memory bound
+	memo       memPointMemo
 }
 
 // NewCoScale returns the plain governor.
@@ -90,7 +91,7 @@ func (c *CoScale) Decide(ctx soc.PolicyContext) soc.PolicyDecision {
 	if lowIdx >= len(ctx.Ladder) {
 		lowIdx = 0
 	}
-	memLow := memOnlyPoint(ctx.Ladder[lowIdx], top)
+	memLow := c.memo.point(ctx.Ladder[lowIdx], top)
 
 	stalls := ctx.Counters.Get(perfcounters.LLCStalls)
 	goLow := slackAvailable(ctx, top, c.UtilTarget, c.StallThr)

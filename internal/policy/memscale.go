@@ -33,6 +33,7 @@ type MemScale struct {
 	StallThr float64
 
 	credit savingsCredit
+	memo   memPointMemo
 }
 
 // NewMemScale returns the plain (power-saving only) governor.
@@ -73,7 +74,7 @@ func (m *MemScale) Decide(ctx soc.PolicyContext) soc.PolicyDecision {
 	if lowIdx >= len(ctx.Ladder) {
 		lowIdx = 0
 	}
-	memLow := memOnlyPoint(ctx.Ladder[lowIdx], top)
+	memLow := m.memo.point(ctx.Ladder[lowIdx], top)
 
 	goLow := m.wantLow(ctx, top)
 	target := top
@@ -144,6 +145,25 @@ func memOnlyPoint(low, top vf.OperatingPoint) vf.OperatingPoint {
 		VSA:     top.VSA,
 		VIO:     top.VIO,
 	}
+}
+
+// memPointMemo is a one-slot cache over memOnlyPoint. Ladders are
+// fixed for the life of a run, so after the first epoch every Decide
+// reuses the composed point — and, critically, its allocated Name
+// string: the naked concat was one heap allocation per policy epoch
+// on the sweep hot path. Keyed on both inputs, so a memo copied by
+// Clone (or carried across Reset) can never serve a stale point.
+type memPointMemo struct {
+	low, top vf.OperatingPoint
+	pt       vf.OperatingPoint
+	ok       bool
+}
+
+func (m *memPointMemo) point(low, top vf.OperatingPoint) vf.OperatingPoint {
+	if !m.ok || m.low != low || m.top != top {
+		m.low, m.top, m.pt, m.ok = low, top, memOnlyPoint(low, top), true
+	}
+	return m.pt
 }
 
 // savingsCredit tracks the measured IO+memory power at the high and

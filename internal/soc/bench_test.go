@@ -90,6 +90,37 @@ func BenchmarkRunnerPooled(b *testing.B) {
 	b.ReportMetric(ticks/b.Elapsed().Seconds(), "ticks/s")
 }
 
+// BenchmarkRunnerPooledWarmSpanCache measures the cross-job fast path:
+// a pooled run whose every cacheable span is served from a warm shared
+// SpanCache — the steady state of an engine sweep re-visiting a
+// workload. The ns/op delta against BenchmarkRunnerPooled is the span
+// cache's per-run win; allocs/op must match it (the cache adds no heap
+// traffic on hits).
+func BenchmarkRunnerPooledWarmSpanCache(b *testing.B) {
+	w, err := workload.SPEC("473.astar")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Workload = w
+	cfg.Policy = highPinBench()
+	cfg.Duration = 500 * sim.Millisecond
+	r := NewRunner()
+	r.SetSpanCache(NewSpanCache(0))
+	if _, err := r.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ticks := float64(cfg.Duration/cfg.SampleInterval) * float64(b.N)
+	b.ReportMetric(ticks/b.Elapsed().Seconds(), "ticks/s")
+}
+
 // BenchmarkPlatformAssembly measures cold-start cost (MRC training,
 // component wiring) — relevant for sweep-style experiments that build
 // thousands of platforms.

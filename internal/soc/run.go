@@ -124,6 +124,19 @@ func (p *Platform) run(ctx context.Context) (Result, error) {
 	// bit-for-bit (all batch accumulators are exact identities at n=1).
 	batch := !cfg.DisableSpanBatching && !cfg.TracePower
 
+	// Cross-job span cache: when the engine threaded a SpanCache into
+	// this platform, stall-free spans are keyed by (platform signature,
+	// phase, programming, length) and served as cached deltas — the
+	// redundancy across a sweep's jobs, not just within one run. Hits
+	// and misses accumulate locally and flush once at run end, so the
+	// hot loop shares nothing but the cache map itself.
+	useCache := p.spanCache != nil && batch && !cfg.DisableSpanCache
+	var plat uint64
+	var cacheHits, cacheMisses int
+	if useCache {
+		plat = platformSig(&cfg)
+	}
+
 	for i := 0; i < nTicks; {
 		idx := cursor.index()
 		ph := cursor.phase()
@@ -153,8 +166,12 @@ func (p *Platform) run(ctx context.Context) (Result, error) {
 				CSR:           p.ioeng.CSR(),
 				Current:       p.current,
 				Ladder:        cfg.Ladder,
-				WorstIO:       p.WorstCaseIOBudget,
-				WorstMem:      p.WorstCaseMemBudget,
+				// The worst-case tables go in as the method values bound
+				// once at assembly: binding them here would allocate two
+				// closures per policy epoch (they were the pooled run
+				// path's dominant allocation).
+				WorstIO:       p.worstIOFn,
+				WorstMem:      p.worstMemFn,
 				ComputeBudget: p.budget.Compute(),
 				ComputePower:  lastComputePower,
 				IOMemPower:    ioMemAvg,
@@ -181,8 +198,6 @@ func (p *Platform) run(ctx context.Context) (Result, error) {
 			p.refreshTickMemo()
 		}
 
-		ev := p.tickEvalFor(idx, ph)
-
 		// Span length: how many ticks from i share this exact evaluation.
 		n := 1
 		if batch && pendingStall == 0 {
@@ -201,62 +216,90 @@ func (p *Platform) run(ctx context.Context) (Result, error) {
 			}
 			pendingStall = 0
 		}
-		effRate := ev.r * (1 - stallFrac)
 
-		// C-state residency; fixed-demand workloads stretch or shrink
-		// their active window to hold work constant (race-to-sleep).
-		resid := ph.Residency
-		c0 := resid.C0
-		if cfg.Workload.Class == workload.Battery && effRate > 0 {
-			c0 = resid.C0 / effRate
-			if c0 > 1 {
-				c0 = 1
-				res.PerfMet = false
+		// Resolve the span's integration outcome: from the cross-job
+		// cache when an identical span was integrated before (any run,
+		// any job), in full otherwise. Stall-charged spans are never
+		// cached — the charge perturbs this span's progress rate but
+		// not the key.
+		var d spanDelta
+		hit := false
+		var key spanKey
+		cacheable := useCache && stallFrac == 0
+		if cacheable {
+			key = spanKey{
+				plat:  plat,
+				phase: ph,
+				prog:  p.programming(),
+				coreF: p.cores.Frequency(),
+				duty:  p.cores.DutyCycle(),
+				n:     n,
+			}
+			if d, hit = p.spanCache.lookup(key); hit {
+				cacheHits++
+				// A cache hit must leave the platform exactly as the
+				// full integration would: restore the components'
+				// rolling epochs (the fabric's feeds the next DVFS
+				// transition's drain latency), as a tick-memo hit does.
+				p.mc.RestoreEpoch(d.ev.mcEp)
+				p.fabric.RestoreEpoch(d.ev.fabEp)
+				p.llc.RestoreEpoch(d.ev.llcEp)
 			}
 		}
-		idleScale := 1.0
-		if rem := resid.C2 + resid.C6 + resid.C8; rem > 0 {
-			idleScale = (1 - c0) / rem
-			if idleScale < 0 {
-				idleScale = 0
+		if !hit {
+			d = p.integrateSpan(idx, ph, stallFrac, tickSec, fn)
+			if cacheable {
+				cacheMisses++
+				p.spanCache.insert(key, d)
 			}
 		}
-		c2 := resid.C2 * idleScale
-		deep := (resid.C6 + resid.C8) * idleScale
 
-		work += effRate * c0 * tickSec * fn
-		activeTime += c0 * tickSec * fn
+		// Apply the delta. Every increment below is the pre-multiplied
+		// float64 the uncached path computed (integrateSpan stores the
+		// products, not the factors), so cached and uncached runs
+		// accumulate bit-identical values.
+		work += d.dWork
+		activeTime += d.dActive
 
 		// Counters reflect each tick's average activity, constant over
 		// the span: latch the same sample n times in one step.
-		p.setCounters(ev, c0, c2)
+		p.counters.Restore(d.sample)
 		p.counters.LatchN(n)
-		counterSum = addSampleN(counterSum, p.counters.Current(), fn)
+		counterSum = addSampleN(counterSum, d.sample, fn)
 		counterTicks += n
 
 		// Power: the per-rail draws are constant over the span, so the
 		// meters integrate n ticks in closed form.
-		perRail, computeW, ioMemW := p.tickPower(ph, ev, c0, c2, deep, resid)
-		p.meters.AccumulateN(perRail, tick, n)
-		lastComputePower = computeW
-		ioMemPowerInterval += float64(ioMemW) * fn
+		p.meters.AccumulateN(d.rails, tick, n)
+		lastComputePower = d.computeW
+		ioMemPowerInterval += d.dIOMem
 		intervalTicks += n
 
 		if cfg.TracePower {
 			var tot power.Watt
-			for _, w := range perRail {
+			for _, w := range d.rails {
 				tot += w
 			}
 			res.PowerTrace = append(res.PowerTrace, float64(tot))
 		}
 
-		res.PointResidency[p.currentIdx] += tickSec * fn
-		coreFreqSum += float64(p.cores.Frequency()) * fn
-		gfxFreqSum += float64(p.gfx.Frequency()) * fn
+		if !d.perfOK {
+			res.PerfMet = false
+		}
+		res.PointResidency[p.currentIdx] += d.dResid
+		coreFreqSum += d.dCoreFreq
+		gfxFreqSum += d.dGfxFreq
 
 		p.clock.AdvanceTicks(n)
 		cursor.advance(sim.Time(n) * tick)
 		i += n
+	}
+
+	// Flush the run's locally counted cache traffic once. (Runs that
+	// unwind early — cancellation, decision errors — skip the flush;
+	// the counters are telemetry, not accounting.)
+	if useCache {
+		p.spanCache.addStats(cacheHits, cacheMisses)
 	}
 
 	elapsed := cfg.Duration.Seconds()
@@ -287,6 +330,55 @@ func (p *Platform) run(ctx context.Context) (Result, error) {
 		res.CounterAvg = counterSum
 	}
 	return res, nil
+}
+
+// integrateSpan resolves one span in full: the tick evaluation (via
+// the steady-state memo), the residency split, and every accumulator
+// increment, pre-multiplied by the span length. The result is a
+// self-contained spanDelta — applying it (plus restoring the component
+// epochs it carries) reproduces the historical per-span mutations bit
+// for bit, which is what makes the delta sound to replay from the
+// cross-job cache.
+func (p *Platform) integrateSpan(idx int, ph workload.Phase, stallFrac, tickSec, fn float64) spanDelta {
+	ev := p.tickEvalFor(idx, ph)
+	effRate := ev.r * (1 - stallFrac)
+
+	// C-state residency; fixed-demand workloads stretch or shrink
+	// their active window to hold work constant (race-to-sleep).
+	resid := ph.Residency
+	c0 := resid.C0
+	perfOK := true
+	if p.cfg.Workload.Class == workload.Battery && effRate > 0 {
+		c0 = resid.C0 / effRate
+		if c0 > 1 {
+			c0 = 1
+			perfOK = false
+		}
+	}
+	idleScale := 1.0
+	if rem := resid.C2 + resid.C6 + resid.C8; rem > 0 {
+		idleScale = (1 - c0) / rem
+		if idleScale < 0 {
+			idleScale = 0
+		}
+	}
+	c2 := resid.C2 * idleScale
+	deep := (resid.C6 + resid.C8) * idleScale
+
+	d := spanDelta{
+		ev:      ev,
+		sample:  p.sampleFor(ev, c0, c2),
+		dWork:   effRate * c0 * tickSec * fn,
+		dActive: c0 * tickSec * fn,
+		dResid:  tickSec * fn,
+		perfOK:  perfOK,
+	}
+	var ioMemW power.Watt
+	d.rails, d.computeW, ioMemW = p.tickPower(ph, ev, c0, c2, deep, resid)
+	d.dIOMem = float64(ioMemW) * fn
+	d.dCoreFreq = float64(p.cores.Frequency()) * fn
+	d.dGfxFreq = float64(p.gfx.Frequency()) * fn
+	return d
 }
 
 // spanTicks returns how many consecutive ticks, starting at tick index
@@ -651,17 +743,21 @@ func (p *Platform) evalTick(ph workload.Phase, refLat float64) tickEval {
 	return ev
 }
 
-// setCounters writes the tick's counter file, weighting active-only
-// events by residency (the counters are free-running; idle time simply
-// contributes no events).
-func (p *Platform) setCounters(ev tickEval, c0, c2 float64) {
-	p.counters.Set(perfcounters.GfxLLCMisses, ev.llcEp.GfxMisses*c0)
-	p.counters.Set(perfcounters.LLCOccupancyTracer, ev.llcEp.OccupancyTracer*c0)
-	p.counters.Set(perfcounters.LLCStalls, ev.llcEp.Stalls*c0)
-	p.counters.Set(perfcounters.IORPQ, ev.fabEp.RPQOccupancy*c0)
-	p.counters.Set(perfcounters.CoreCycles, float64(p.cores.EffectiveFrequency())*c0)
-	p.counters.Set(perfcounters.MemReadBytes, ev.mcEp.AchievedBytes*c0*0.7+ev.c2BW*c2*0.7)
-	p.counters.Set(perfcounters.MemWriteBytes, ev.mcEp.AchievedBytes*c0*0.3+ev.c2BW*c2*0.3)
+// sampleFor computes the tick's counter-file image, weighting
+// active-only events by residency (the counters are free-running; idle
+// time simply contributes no events). The image covers the whole file,
+// so restoring it into the counter file is equivalent to the
+// historical per-counter writes.
+func (p *Platform) sampleFor(ev tickEval, c0, c2 float64) perfcounters.Sample {
+	var s perfcounters.Sample
+	s[perfcounters.GfxLLCMisses] = ev.llcEp.GfxMisses * c0
+	s[perfcounters.LLCOccupancyTracer] = ev.llcEp.OccupancyTracer * c0
+	s[perfcounters.LLCStalls] = ev.llcEp.Stalls * c0
+	s[perfcounters.IORPQ] = ev.fabEp.RPQOccupancy * c0
+	s[perfcounters.CoreCycles] = float64(p.cores.EffectiveFrequency()) * c0
+	s[perfcounters.MemReadBytes] = ev.mcEp.AchievedBytes*c0*0.7 + ev.c2BW*c2*0.7
+	s[perfcounters.MemWriteBytes] = ev.mcEp.AchievedBytes*c0*0.3 + ev.c2BW*c2*0.3
+	return s
 }
 
 // tickPower computes the tick's per-rail power, returning also the

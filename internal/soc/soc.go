@@ -157,6 +157,18 @@ type Config struct {
 	// results are bit-identical either way; the knob keeps that claim
 	// falsifiable by A/B tests, like the other two fast paths.
 	DisablePBMMemo bool
+
+	// DisableSpanCache turns off the cross-job span cache for this run:
+	// every span integrates in full even when the executing engine has
+	// a warm SpanCache holding an identical span from an earlier job.
+	// The cache is exact — spans are keyed by value on every input that
+	// feeds their integration, and cached deltas store the pre-
+	// multiplied increments the full integration would have produced —
+	// so results are bit-identical either way; the knob keeps that
+	// claim falsifiable by A/B tests, like the other fast paths. Runs
+	// outside an engine (soc.Run, a bare Runner) have no cache and
+	// ignore the knob.
+	DisableSpanCache bool
 }
 
 // DefaultConfig returns the Table 2 platform: 4.5W TDP, LPDDR3-1600,
@@ -269,6 +281,16 @@ type Platform struct {
 	// request, the compute budget, and the currently programmed compute
 	// state all match the previous applyPBM outcome.
 	pbmMemo pbmMemo
+
+	// spanCache is the engine-owned cross-job span cache (spancache.go),
+	// threaded in through Runner.SetSpanCache; nil for bare runs.
+	spanCache *SpanCache
+
+	// worstIOFn/worstMemFn are the worst-case budget tables as method
+	// values, bound once at assembly so the policy-epoch context
+	// carries them without allocating two closures per decision.
+	worstIOFn  func(vf.OperatingPoint) power.Watt
+	worstMemFn func(vf.OperatingPoint) power.Watt
 }
 
 // NewPlatform assembles an SoC without running it, for callers that
@@ -284,6 +306,8 @@ func newPlatform(cfg Config) (*Platform, error) {
 	boot := cfg.Ladder[0]
 
 	p := &Platform{cfg: cfg, current: boot, refLats: make(map[int]float64)}
+	p.worstIOFn = p.WorstCaseIOBudget
+	p.worstMemFn = p.WorstCaseMemBudget
 	p.ladderIdx = make(map[vf.OperatingPoint]int, len(cfg.Ladder))
 	p.fillLadderIndex()
 	p.clock = sim.NewClock(cfg.SampleInterval)

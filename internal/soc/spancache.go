@@ -1,0 +1,247 @@
+package soc
+
+import (
+	"math"
+	"sync"
+
+	"sysscale/internal/perfcounters"
+	"sysscale/internal/power"
+	"sysscale/internal/vf"
+	"sysscale/internal/workload"
+)
+
+// SpanCache memoizes closed-form span integrations *across* runs.
+//
+// A figure-style sweep re-simulates the same workloads under many
+// policy/config variants, so most of a batch's spans are literally
+// identical across jobs: the same phase, under the same platform
+// programming, for the same number of ticks, integrates to the same
+// deltas every time. The cache keys each policy-epoch span by
+// (platform signature, phase, programming snapshot, span length) and
+// stores the span's self-contained integration outcome (spanDelta), so
+// a later run whose span matches applies an O(1) delta instead of
+// re-deriving the fixpoint and the per-rail power sums.
+//
+// The key is exact, not heuristic: the phase and the programming
+// snapshot are compared by value (they are comparable structs), and
+// the platform signature folds every remaining Config input that feeds
+// span integration — TDP, DRAM kind, ladder, CSR, sample interval,
+// fixed-frequency pins, workload class. Two spans with equal keys are
+// therefore integrated from bit-identical inputs, and applying a
+// cached delta reproduces the uncached accumulator updates bit for
+// bit (enforced by TestSpanCacheIdentity and the engine's A/B race
+// test; Config.DisableSpanCache keeps the claim falsifiable).
+//
+// A SpanCache is safe for concurrent use; the run engine owns one per
+// Engine and threads it into every pooled Runner. Spans carrying a
+// DVFS stall charge are never cached (the stall perturbs the first
+// tick's progress), and runs with TracePower or DisableSpanBatching
+// bypass the cache entirely.
+type SpanCache struct {
+	mu sync.RWMutex
+	m  map[spanKey]spanDelta
+	// max bounds the entry count: once full, new spans simulate
+	// without being inserted (sweeps re-visit their hot spans long
+	// before a realistically sized cache fills).
+	max int
+
+	hits, misses, dropped int64
+}
+
+// DefaultSpanCacheEntries bounds a default-constructed span cache.
+// Entries are ~1KB (key + delta); the default caps resident cache
+// memory at roughly 64MB while holding several thousand sweep jobs'
+// worth of distinct spans.
+const DefaultSpanCacheEntries = 1 << 16
+
+// NewSpanCache returns a cache bounded to maxEntries spans
+// (maxEntries <= 0 selects DefaultSpanCacheEntries).
+func NewSpanCache(maxEntries int) *SpanCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultSpanCacheEntries
+	}
+	return &SpanCache{m: make(map[spanKey]spanDelta), max: maxEntries}
+}
+
+// SpanCacheStats is a snapshot of the cache counters.
+type SpanCacheStats struct {
+	// Entries is the number of cached span integrations.
+	Entries int
+	// Hits counts spans applied as cached deltas; Misses counts spans
+	// integrated in full (whether or not they were then inserted).
+	Hits, Misses int
+	// Dropped counts integrations not inserted because the cache was
+	// full.
+	Dropped int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *SpanCache) Stats() SpanCacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return SpanCacheStats{
+		Entries: len(c.m),
+		Hits:    int(c.hits),
+		Misses:  int(c.misses),
+		Dropped: int(c.dropped),
+	}
+}
+
+// Clear drops every cached span (the counters are kept).
+func (c *SpanCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[spanKey]spanDelta)
+}
+
+// lookup returns the cached delta for key, if present.
+func (c *SpanCache) lookup(key spanKey) (spanDelta, bool) {
+	c.mu.RLock()
+	d, ok := c.m[key]
+	c.mu.RUnlock()
+	return d, ok
+}
+
+// insert stores a freshly integrated span unless the cache is full.
+// It returns false when the delta was dropped.
+func (c *SpanCache) insert(key spanKey, d spanDelta) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= c.max {
+		if _, ok := c.m[key]; !ok {
+			c.dropped++
+			return false
+		}
+		return true
+	}
+	c.m[key] = d
+	return true
+}
+
+// addStats folds one run's locally accumulated hit/miss counters into
+// the shared counters. Runs count locally and flush once, so the hot
+// loop never touches shared state beyond the map lookups themselves.
+func (c *SpanCache) addStats(hits, misses int) {
+	if hits == 0 && misses == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.hits += int64(hits)
+	c.misses += int64(misses)
+	c.mu.Unlock()
+}
+
+// spanKey identifies one cacheable span across runs. Every input that
+// feeds span integration is either present by value (phase, platform
+// programming, span length) or folded into the platform signature
+// (see platformSig). The struct is comparable, so lookups are plain
+// map reads with no hashing allocations.
+type spanKey struct {
+	// plat is the platform-class signature: a fold over the Config
+	// inputs outside the programming snapshot (TDP, DRAM kind, ladder,
+	// CSR, sample interval, fixed pins, workload class).
+	plat uint64
+	// phase is the active workload phase, by value.
+	phase workload.Phase
+	// prog is the live platform-programming snapshot (operating point,
+	// DRAM register image, compute clocks, budgets).
+	prog tickProg
+	// coreF and duty pin the raw core P-state and HDC duty cycle:
+	// tickProg folds them into one effective frequency, which the
+	// progress fixpoint depends on, but the power model sees them
+	// separately (leakage follows the P-state voltage, switching the
+	// duty cycle), so distinct (P-state, duty) pairs with equal
+	// products must not alias.
+	coreF vf.Hz
+	duty  float64
+	// n is the span length in ticks.
+	n int
+}
+
+// spanDelta is one span's self-contained integration outcome: every
+// accumulator increment and every piece of platform state the uncached
+// span path would have produced. Increments are stored pre-multiplied
+// (rate × residency × tickSec × n), so applying a delta adds the very
+// float64 values the uncached path would have added — bit-identical
+// results by construction.
+type spanDelta struct {
+	// ev carries the resolved tick evaluation; its component epochs
+	// are restored on apply (they feed the next DVFS transition's
+	// drain latency), exactly as a tick-memo hit restores them.
+	ev tickEval
+	// sample is the counter-file image the span latches n times.
+	sample perfcounters.Sample
+	// rails is the constant per-rail draw metered over the span.
+	rails [vf.NumRails]power.Watt
+	// computeW and dIOMem feed the governor's power telemetry
+	// (dIOMem is pre-multiplied by n).
+	computeW power.Watt
+	dIOMem   float64
+	// dWork/dActive/dResid/dCoreFreq/dGfxFreq are the pre-multiplied
+	// accumulator increments.
+	dWork, dActive float64
+	dResid         float64
+	dCoreFreq      float64
+	dGfxFreq       float64
+	// perfOK is false when a fixed-demand workload missed its
+	// performance demand during the span.
+	perfOK bool
+}
+
+// platformSig folds the span-relevant Config inputs that are not part
+// of the programming snapshot into a 64-bit FNV-1a signature. It
+// allocates nothing (the fold is field-by-field, no hashing buffer),
+// so computing it per run keeps the pooled path allocation-free.
+//
+// The signature is the only inexact component of the span key — the
+// phase and programming snapshot compare by value — so a collision
+// needs two *platform classes* (not spans) agreeing on 64 bits while
+// also matching phase, programming, and span length. Sweeps hold a
+// handful of platform classes, putting the collision probability at
+// the 2^-64 floor; the DisableSpanCache A/B suites would surface one.
+func platformSig(cfg *Config) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	fold := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	foldF := func(f float64) { fold(math.Float64bits(f)) }
+	foldS := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		fold(uint64(len(s)))
+	}
+
+	foldF(float64(cfg.TDP))
+	fold(uint64(cfg.DRAMKind))
+	fold(uint64(cfg.SampleInterval))
+	foldF(float64(cfg.FixedCoreFreq))
+	foldF(float64(cfg.FixedGfxFreq))
+	fold(uint64(cfg.Workload.Class))
+	fold(uint64(len(cfg.Ladder)))
+	for i := range cfg.Ladder {
+		op := &cfg.Ladder[i]
+		foldS(op.Name)
+		foldF(float64(op.DDR))
+		foldF(float64(op.MC))
+		foldF(float64(op.Interco))
+		foldF(float64(op.VSA))
+		foldF(float64(op.VIO))
+	}
+	for i := range cfg.CSR.Panels {
+		p := &cfg.CSR.Panels[i]
+		fold(uint64(p.Res))
+		foldF(p.RefreshHz)
+	}
+	fold(uint64(cfg.CSR.Camera))
+	return h
+}

@@ -1,0 +1,223 @@
+package soc
+
+import (
+	"reflect"
+	"testing"
+
+	"sysscale/internal/sim"
+	"sysscale/internal/workload"
+)
+
+// flipPolicy alternates between two ladder indices every period
+// decisions — it drives real DVFS transitions, so spans run under
+// changing programming and the runs carry stall-charged (uncacheable)
+// spans alongside cacheable ones.
+type flipPolicy struct {
+	period int
+	a, b   int
+	calls  int
+}
+
+func (p *flipPolicy) Name() string { return "test-flip" }
+func (p *flipPolicy) Reset()       { p.calls = 0 }
+func (p *flipPolicy) Clone() Policy {
+	c := *p
+	c.Reset()
+	return &c
+}
+func (p *flipPolicy) Decide(ctx PolicyContext) PolicyDecision {
+	idx := p.a
+	if (p.calls/p.period)%2 == 1 {
+		idx = p.b
+	}
+	p.calls++
+	if idx >= len(ctx.Ladder) {
+		idx = len(ctx.Ladder) - 1
+	}
+	top := ctx.Ladder[0]
+	return PolicyDecision{
+		Target:       ctx.Ladder[idx],
+		OptimizedMRC: true,
+		IOBudget:     ctx.WorstIO(top),
+		MemBudget:    ctx.WorstMem(top),
+	}
+}
+
+func spanCacheTestConfig(t *testing.T, wlName string, pol Policy) Config {
+	t.Helper()
+	w, err := workload.SPEC(wlName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Workload = w
+	cfg.Policy = pol
+	cfg.Duration = 200 * sim.Millisecond
+	return cfg
+}
+
+// TestSpanCacheIdentity pins the cache's core contract: a run served
+// from the span cache — cold (all misses, inserting), warm (hits), or
+// warm through a different pooled Runner — is bit-identical to the
+// same run with the cache disabled. Deltas store pre-multiplied
+// increments, so the apply path adds the very float64 values the
+// uncached path adds; DeepEqual, not tolerance, is the assertion.
+func TestSpanCacheIdentity(t *testing.T) {
+	policies := []func() Policy{
+		func() Policy { return highPin() },
+		func() Policy { return lowPin(true) },
+		func() Policy { return &flipPolicy{period: 2, a: 0, b: 1} },
+	}
+	for _, wl := range []string{"473.astar", "470.lbm"} {
+		for _, mk := range policies {
+			label := wl + "/" + mk().Name()
+
+			ref, err := Run(spanCacheTestConfig(t, wl, mk()))
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+
+			cache := NewSpanCache(0)
+			r := NewRunner()
+			r.SetSpanCache(cache)
+
+			// Cache attached but disabled by the A/B knob.
+			off := spanCacheTestConfig(t, wl, mk())
+			off.DisableSpanCache = true
+			got, err := r.Run(off)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("%s: DisableSpanCache run != plain run", label)
+			}
+			if s := cache.Stats(); s.Hits+s.Misses+s.Entries != 0 {
+				t.Errorf("%s: disabled cache was touched: %+v", label, s)
+			}
+
+			// Cold: every cacheable span misses and inserts.
+			got, err = r.Run(spanCacheTestConfig(t, wl, mk()))
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("%s: cold cached run != uncached run", label)
+			}
+			cold := cache.Stats()
+			if cold.Misses == 0 || cold.Entries == 0 {
+				t.Fatalf("%s: cold run populated nothing: %+v", label, cold)
+			}
+
+			// Warm: the same spans come back as cached deltas.
+			got, err = r.Run(spanCacheTestConfig(t, wl, mk()))
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("%s: warm cached run != uncached run", label)
+			}
+			warm := cache.Stats()
+			if warm.Hits == cold.Hits {
+				t.Errorf("%s: warm run scored no span hits: %+v", label, warm)
+			}
+
+			// Cross-runner: a different pooled Runner sharing the cache
+			// reuses the first runner's spans — the cross-job scenario.
+			r2 := NewRunner()
+			r2.SetSpanCache(cache)
+			got, err = r2.Run(spanCacheTestConfig(t, wl, mk()))
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("%s: cross-runner cached run != uncached run", label)
+			}
+			if s := cache.Stats(); s.Hits <= warm.Hits {
+				t.Errorf("%s: second runner scored no span hits: %+v", label, s)
+			}
+		}
+	}
+}
+
+// TestSpanCacheBound pins the full-cache behaviour: a cache bounded to
+// one entry stops inserting (counting drops) instead of growing, and
+// results stay identical to the unbounded run.
+func TestSpanCacheBound(t *testing.T) {
+	ref, err := Run(spanCacheTestConfig(t, "473.astar", &flipPolicy{period: 2, a: 0, b: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewSpanCache(1)
+	r := NewRunner()
+	r.SetSpanCache(cache)
+	got, err := r.Run(spanCacheTestConfig(t, "473.astar", &flipPolicy{period: 2, a: 0, b: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Error("full-cache run != uncached run")
+	}
+	s := cache.Stats()
+	if s.Entries > 1 {
+		t.Errorf("cache bound ignored: %d entries resident", s.Entries)
+	}
+	if s.Dropped == 0 {
+		t.Errorf("full cache dropped nothing: %+v", s)
+	}
+}
+
+// allocsConfig is the steady-state config the allocation pins run:
+// single-phase SPEC under a static governor, the engine worker's
+// recycled-platform scenario.
+func allocsConfig(t *testing.T) Config {
+	t.Helper()
+	return spanCacheTestConfig(t, "473.astar", highPin())
+}
+
+// TestRunnerPooledAllocs pins the warm pooled run at exactly 1
+// allocation: the Result's PointResidency slice, which escapes to the
+// caller and cannot be pooled. Everything else — closures, counter
+// samples, span bookkeeping — must stay off the heap. A regression
+// here is a hot-path regression for every engine worker; fix the
+// allocation, don't bump the pin.
+func TestRunnerPooledAllocs(t *testing.T) {
+	cfg := allocsConfig(t)
+	r := NewRunner()
+	if _, err := r.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := r.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 1 {
+		t.Errorf("warm pooled run: %v allocs/op, want exactly 1 (PointResidency)", allocs)
+	}
+}
+
+// TestRunnerWarmSpanCacheAllocs pins the warm span-cache path at the
+// same single allocation: serving spans as cached deltas must not add
+// heap traffic (the key is a comparable struct — no hashing buffers —
+// and hit/miss counters accumulate in locals).
+func TestRunnerWarmSpanCacheAllocs(t *testing.T) {
+	cfg := allocsConfig(t)
+	cache := NewSpanCache(0)
+	r := NewRunner()
+	r.SetSpanCache(cache)
+	if _, err := r.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	before := cache.Stats()
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := r.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 1 {
+		t.Errorf("warm span-cache run: %v allocs/op, want exactly 1 (PointResidency)", allocs)
+	}
+	if after := cache.Stats(); after.Hits <= before.Hits {
+		t.Fatalf("warm runs scored no span hits — the pin measured the wrong path: %+v", after)
+	}
+}

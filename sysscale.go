@@ -211,8 +211,17 @@ func NewEngine(opts ...EngineOption) *Engine { return engine.New(opts...) }
 func WithParallelism(n int) EngineOption { return engine.WithParallelism(n) }
 
 // WithCache enables or disables the engine's result memoization
-// (enabled by default).
+// (enabled by default). The cross-job span cache is governed
+// separately — per run, with Config.DisableSpanCache — because it
+// accelerates simulations rather than skipping them.
 func WithCache(enabled bool) EngineOption { return engine.WithCache(enabled) }
+
+// WithCacheSize bounds the engine's result cache to n entries, evicted
+// least-recently-used (n <= 0 selects DefaultCacheSize).
+func WithCacheSize(n int) EngineOption { return engine.WithCacheSize(n) }
+
+// DefaultCacheSize is the result cache's default entry bound.
+const DefaultCacheSize = engine.DefaultCacheSize
 
 // defaultEngine backs the package-level batch entry points (RunBatch,
 // RunBatchContext, Stream), so batch results are memoized
@@ -221,23 +230,19 @@ var defaultEngine = engine.New()
 
 // DefaultEngine returns the process-wide engine behind RunBatch,
 // RunBatchContext and Stream, for cache statistics and direct batch
-// submission.
-//
-// Its memoizing cache grows without bound: every distinct Config ever
-// batched through the package-level entry points stays resident (a
-// Result plus its key) for the life of the process. That is the right
-// trade for the experiment harness — the same baselines recur across
-// every figure — but a service sweeping an unbounded config space must
-// either call ClearCache between sweeps or construct a private
-// NewEngine(WithCache(false)).
+// submission. Its caches are bounded (DefaultCacheSize results,
+// LRU-evicted, plus the span cache's own bound), so unbounded sweeps
+// through the package-level entry points cycle cache memory instead
+// of growing it.
 func DefaultEngine() *Engine { return defaultEngine }
 
-// ClearCache drops every result memoized by the default engine. Call
-// it between sweeps of unbounded config spaces to bound memory.
+// ClearCache drops every result and span delta memoized by the
+// default engine. The caches are bounded, so this is about reclaiming
+// memory promptly, not about preventing growth.
 func ClearCache() { defaultEngine.ClearCache() }
 
-// CacheStats snapshots the default engine's cache counters — watch
-// Entries to decide when ClearCache is due.
+// CacheStats snapshots the default engine's cache counters: result
+// hits/misses/evictions and the cross-job span cache's traffic.
 func CacheStats() EngineStats { return defaultEngine.CacheStats() }
 
 // RunBatch simulates the configurations concurrently with bounded
@@ -248,8 +253,8 @@ func CacheStats() EngineStats { return defaultEngine.CacheStats() }
 // RunBatch stops scheduling work and returns a *JobError identifying
 // the failed job.
 //
-// The shared engine memoizes every distinct config's result for the
-// life of the process (see DefaultEngine for the growth implications).
+// The shared engine memoizes results in a bounded LRU (see
+// DefaultEngine), so repeated baselines across figures simulate once.
 func RunBatch(cfgs []Config) ([]Result, error) {
 	return RunBatchContext(context.Background(), cfgs)
 }
