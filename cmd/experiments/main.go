@@ -4,6 +4,7 @@
 //
 //	experiments [-run name] [-fig6n N] [-parallel N]
 //	experiments -montecarlo [-seed S] [-n N] [-parallel N]
+//	experiments -specs dir/ [-parallel N]
 //	experiments -cpuprofile cpu.pprof -memprofile mem.pprof [...]
 //
 // -cpuprofile and -memprofile write pprof profiles of whatever
@@ -22,6 +23,12 @@
 // three closed-loop policies, reported as per-policy outcome
 // distributions. The sweep is bit-identical for a given (seed, n) at
 // any -parallel level.
+//
+// -specs runs every job-spec file (*.json, sorted by name) in a
+// directory as one engine batch instead of the paper set, printing
+// each file's fingerprint and result. Identical specs — and repeats of
+// a spec already run this invocation — are simulated once and served
+// from the engine's result cache.
 package main
 
 import (
@@ -31,11 +38,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"syscall"
 	"time"
 
+	"sysscale"
 	"sysscale/internal/experiments"
 )
 
@@ -50,6 +60,7 @@ func run() int {
 	montecarlo := flag.Bool("montecarlo", false, "run the Monte Carlo robustness sweep")
 	seed := flag.Uint64("seed", 1, "Monte Carlo workload-generator seed")
 	mcN := flag.Int("n", 100, "Monte Carlo generated workload count")
+	specsDir := flag.String("specs", "", "run every job-spec JSON file in this directory instead")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -95,6 +106,10 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	context.AfterFunc(ctx, stop)
+
+	if *specsDir != "" {
+		return runSpecs(ctx, *specsDir, *parallel)
+	}
 
 	mcFn := func(ctx context.Context) (fmt.Stringer, error) {
 		opt := experiments.DefaultMonteCarloOptions()
@@ -173,6 +188,59 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(start).Seconds(), out)
+	}
+	return 0
+}
+
+// runSpecs runs every *.json job spec in dir as one engine batch and
+// prints each file's fingerprint and result in file order.
+func runSpecs(ctx context.Context, dir string, parallel int) int {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specs: %v\n", err)
+		return 1
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "specs: no *.json files in %s\n", dir)
+		return 1
+	}
+	sort.Strings(paths)
+
+	jobs := make([]sysscale.Job, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "specs: %v\n", err)
+			return 1
+		}
+		js, err := sysscale.ReadJobSpec(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "specs: %s: %v\n", p, err)
+			return 1
+		}
+		if jobs[i], err = sysscale.JobFromSpec(js); err != nil {
+			fmt.Fprintf(os.Stderr, "specs: %s: %v\n", p, err)
+			return 1
+		}
+		if fp, err := sysscale.SpecFingerprint(js); err == nil {
+			fmt.Printf("%s  %x\n", p, fp[:8])
+		}
+	}
+
+	eng := sysscale.NewEngine(sysscale.WithParallelism(parallel))
+	start := time.Now()
+	results, err := eng.RunBatchContext(ctx, jobs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specs: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			return 130
+		}
+		return 1
+	}
+	fmt.Printf("==== specs: %d jobs (%.1fs) ====\n", len(jobs), time.Since(start).Seconds())
+	for i, res := range results {
+		fmt.Printf("%s:\n%s\n", paths[i], res)
 	}
 	return 0
 }

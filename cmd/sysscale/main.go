@@ -5,15 +5,20 @@
 //
 //	sysscale -workload 470.lbm -policy sysscale [-tdp 4.5] [-duration 4s]
 //	         [-compare] [-verbose]
+//	sysscale -spec job.json [-compare] [-verbose]
 //
-// -workload accepts a SPEC CPU2006 name, "3dmark06", "3dmark11",
-// "3dmarkvantage", "web-browsing", "light-gaming", "video-conf",
-// "video-playback" or "stream" (all matched case-insensitively).
-// -policy selects baseline, sysscale, memscale[-redist],
-// coscale[-redist], static-low. -compare also runs the baseline and
-// prints the deltas. -verbose adds per-rail average power, DVFS
-// transition statistics and operating-point residency. -list shows all
-// workloads.
+// -workload accepts any built-in name (SPEC CPU2006, the 3DMark,
+// battery-life and productivity suites, "stream"), matched
+// case-insensitively; -list enumerates them. -policy selects baseline,
+// sysscale, memscale[-redist], coscale[-redist], static-low.
+//
+// -spec loads the whole job — platform, workload, policy, run
+// parameters — from a serialized job-spec file instead (see the
+// "Job specs" section of the README); the individual -workload,
+// -policy, -tdp and -duration flags then do not apply. -compare also
+// runs the baseline and prints the deltas. -verbose adds per-rail
+// average power, DVFS transition statistics and operating-point
+// residency.
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 
 func main() {
 	var (
+		specFile = flag.String("spec", "", "load the full job from a job-spec JSON file")
 		wlName   = flag.String("workload", "473.astar", "workload name (-list to enumerate)")
 		wlFile   = flag.String("workload-file", "", "load the workload from a tracegen-style JSON file instead")
 		polName  = flag.String("policy", "sysscale", "baseline | sysscale | memscale | memscale-redist | coscale | coscale-redist | static-low")
@@ -47,41 +53,44 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, n := range sysscale.SPECNames() {
+		for _, n := range sysscale.BuiltinWorkloadNames() {
 			fmt.Println(n)
 		}
-		for _, w := range sysscale.GraphicsSuite() {
-			fmt.Println(strings.ToLower(w.Name))
-		}
-		for _, w := range sysscale.BatterySuite() {
-			fmt.Println(w.Name)
-		}
-		fmt.Println("stream")
 		return
 	}
 
-	var w sysscale.Workload
-	var err error
-	if *wlFile != "" {
-		w, err = loadWorkloadFile(*wlFile)
+	var cfg sysscale.Config
+	if *specFile != "" {
+		var err error
+		cfg, err = loadSpecFile(*specFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	} else {
-		w, err = findWorkload(*wlName)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	pol, err := findPolicy(*polName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+		var w sysscale.Workload
+		var err error
+		if *wlFile != "" {
+			w, err = loadWorkloadFile(*wlFile)
+		} else {
+			w, err = sysscale.BuiltinWorkload(*wlName)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pol, err := findPolicy(*polName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 
-	cfg := sysscale.DefaultConfig()
-	cfg.Workload = w
-	cfg.Policy = pol
-	cfg.TDP = sysscale.Watt(*tdp)
-	cfg.Duration = sysscale.Time(duration.Nanoseconds())
+		cfg = sysscale.DefaultConfig()
+		cfg.Workload = w
+		cfg.Policy = pol
+		cfg.TDP = sysscale.Watt(*tdp)
+		cfg.Duration = sysscale.Time(duration.Nanoseconds())
+	}
 
 	// Ctrl-C cancels the run context; the simulation unwinds within
 	// one policy epoch and the command exits with the cancellation.
@@ -104,7 +113,7 @@ func main() {
 		printVerbose(os.Stdout, cfg, res)
 	}
 
-	if *compare && *polName != "baseline" {
+	if *compare && cfg.Policy.Name() != sysscale.NewBaseline().Name() {
 		cfg.Policy = sysscale.NewBaseline()
 		base, err := sysscale.RunContext(ctx, cfg)
 		if err != nil {
@@ -151,29 +160,23 @@ func loadWorkloadFile(path string) (sysscale.Workload, error) {
 	return workload.ReadJSON(f)
 }
 
-func findWorkload(name string) (sysscale.Workload, error) {
-	lower := strings.ToLower(name)
-	// SPEC lookup is by canonical name (some are mixed-case, e.g.
-	// 436.cactusADM); resolve the query against the canonical list.
-	for _, n := range sysscale.SPECNames() {
-		if strings.ToLower(n) == lower {
-			return sysscale.SPEC(n)
-		}
+// loadSpecFile reads a serialized job spec and resolves it to a
+// runnable config; a spec that decodes is fully validated.
+func loadSpecFile(path string) (sysscale.Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return sysscale.Config{}, err
 	}
-	for _, w := range sysscale.GraphicsSuite() {
-		if strings.ToLower(w.Name) == lower {
-			return w, nil
-		}
+	defer f.Close()
+	job, err := sysscale.ReadJobSpec(f)
+	if err != nil {
+		return sysscale.Config{}, fmt.Errorf("%s: %w", path, err)
 	}
-	for _, w := range sysscale.BatterySuite() {
-		if strings.ToLower(w.Name) == lower {
-			return w, nil
-		}
+	cfg, err := sysscale.DecodeSpec(job)
+	if err != nil {
+		return sysscale.Config{}, fmt.Errorf("%s: %w", path, err)
 	}
-	if lower == "stream" || lower == "stream-peak-bw" {
-		return sysscale.Stream(), nil
-	}
-	return sysscale.Workload{}, fmt.Errorf("unknown workload %q (use -list)", name)
+	return cfg, nil
 }
 
 func findPolicy(name string) (sysscale.Policy, error) {

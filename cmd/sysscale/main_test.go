@@ -8,9 +8,12 @@ import (
 )
 
 // TestFindWorkloadCaseInsensitive: every suite must match regardless
-// of the caller's casing. The battery suite used to compare the stored
-// name (mixed case allowed) against the lowercased query and so could
-// never match names the graphics path would have accepted.
+// of the caller's casing. The -workload lookup now delegates to
+// sysscale.BuiltinWorkload (the same resolver spec files use), so this
+// pins the CLI-visible contract against that shared path. The battery
+// suite used to compare the stored name (mixed case allowed) against
+// the lowercased query and so could never match names the graphics
+// path would have accepted.
 func TestFindWorkloadCaseInsensitive(t *testing.T) {
 	// Include the mixed-case canonical SPEC names: both their exact
 	// form and any casing of them must resolve.
@@ -35,17 +38,17 @@ func TestFindWorkloadCaseInsensitive(t *testing.T) {
 	}
 	for _, name := range names {
 		for _, variant := range []string{name, strings.ToUpper(name), mixedCase(name)} {
-			w, err := findWorkload(variant)
+			w, err := sysscale.BuiltinWorkload(variant)
 			if err != nil {
-				t.Errorf("findWorkload(%q): %v", variant, err)
+				t.Errorf("BuiltinWorkload(%q): %v", variant, err)
 				continue
 			}
 			if !strings.EqualFold(w.Name, name) && name != "stream" {
-				t.Errorf("findWorkload(%q) returned %q", variant, w.Name)
+				t.Errorf("BuiltinWorkload(%q) returned %q", variant, w.Name)
 			}
 		}
 	}
-	if _, err := findWorkload("no-such-workload"); err == nil {
+	if _, err := sysscale.BuiltinWorkload("no-such-workload"); err == nil {
 		t.Error("unknown workload did not error")
 	}
 }
@@ -54,7 +57,7 @@ func TestFindWorkloadCaseInsensitive(t *testing.T) {
 // advertises: per-rail averages, transition statistics and
 // operating-point residency.
 func TestVerboseOutput(t *testing.T) {
-	w, err := findWorkload("stream")
+	w, err := sysscale.BuiltinWorkload("stream")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,11 +37,25 @@ import (
 	"sync/atomic"
 
 	"sysscale/internal/soc"
+	"sysscale/internal/spec"
 )
 
 // Job is one unit of batch work: a fully-specified simulation run.
 type Job struct {
 	Config soc.Config
+}
+
+// FromSpec builds a Job from a serialized job spec, resolving the
+// workload reference and the policy registry name and validating the
+// result (spec.Decode). The job's cache identity is the spec's
+// fingerprint: running a decoded spec and re-running the same file hit
+// the same cache entry.
+func FromSpec(job spec.Job) (Job, error) {
+	cfg, err := spec.Decode(job)
+	if err != nil {
+		return Job{}, err
+	}
+	return Job{Config: cfg}, nil
 }
 
 // JobResult is one job's outcome as delivered by Stream: the input

@@ -2,36 +2,34 @@ package engine
 
 import (
 	"crypto/sha256"
-	"reflect"
-	"strconv"
 	"sync"
 
 	"sysscale/internal/soc"
+	"sysscale/internal/spec"
 )
 
-// fingerprint derives the canonical cache key of a configuration: a
-// sha256 digest over a deterministic deep rendering of every Config
-// field, including the concrete policy's type and configuration.
-// Pointers are dereferenced (never printed as addresses — addresses
-// are reused by the allocator and would alias distinct configs), so
-// two configs with equal contents always collide onto one key.
+// fingerprint derives the canonical cache key of a configuration:
+// sha256 over the config's canonical spec bytes (spec.AppendConfig) —
+// the same identity spec.Fingerprint documents for serialized jobs, so
+// a key computed here matches one computed from the job's JSON in
+// another process (or another language). That shared identity is what
+// the future content-addressed on-disk result tier keys on.
 //
 // cacheable is false when the config cannot be keyed soundly: the
-// policy opted out via Uncacheable, or the walk met a value whose
-// semantics a hash cannot capture (func, chan, map, unsafe pointer) or
-// exceeded the depth bound (cyclic structures). Such jobs always
-// simulate.
+// policy opted out via Uncacheable, or the config has no canonical
+// form — an unregistered policy type (the registry names are the
+// identity; an unknown type has none), an out-of-range enum value, or
+// a float with no JSON rendering. Such jobs always simulate.
 //
-// The walk is allocation-free in steady state: it renders into a
-// pooled byte buffer with strconv appenders (no fmt), reads struct
-// metadata through a per-type cache (reflect.Type.Field allocates on
-// every call; the names never change), and digests with the one-shot
-// sha256.Sum256, which keeps the state on the stack.
+// The encode is allocation-free in steady state: spec.AppendConfig
+// renders into a pooled byte buffer with strconv-style appenders (no
+// reflection, no fmt), and the digest is the one-shot sha256.Sum256,
+// which keeps the hash state on the stack.
 func fingerprint(cfg soc.Config) (key cacheKey, cacheable bool) {
 	// Walk the wrapper chain (decorators expose Unwrap, like errors):
 	// a wrapped uncacheable policy is still uncacheable. The walk is
-	// depth-bounded like the value walk below, so a (buggy) cyclic
-	// Unwrap chain degrades to "uncacheable" instead of hanging.
+	// depth-bounded, so a (buggy) cyclic Unwrap chain degrades to
+	// "uncacheable" instead of hanging.
 	p, depth := cfg.Policy, maxWalkDepth
 	for p != nil {
 		if _, ok := p.(Uncacheable); ok {
@@ -46,156 +44,24 @@ func fingerprint(cfg soc.Config) (key cacheKey, cacheable bool) {
 		}
 		p = u.Unwrap()
 	}
-	w := fpPool.Get().(*fpWalker)
-	w.buf = w.buf[:0]
-	ok := w.writeValue(reflect.ValueOf(&cfg).Elem(), maxWalkDepth)
+	w := fpPool.Get().(*fpBuf)
+	b, ok := spec.AppendConfig(w.buf[:0], cfg)
 	if ok {
-		key = sha256.Sum256(w.buf)
+		key = sha256.Sum256(b)
 	}
+	w.buf = b
 	fpPool.Put(w)
 	return key, ok
 }
 
-// maxWalkDepth bounds the deep walk; configs are shallow (the deepest
-// path is Config → Workload → Phases → Residency), so hitting the
-// bound means a cyclic custom policy.
+// maxWalkDepth bounds the Unwrap walk; real decorator stacks are one
+// or two deep, so hitting the bound means a cyclic custom policy.
 const maxWalkDepth = 24
 
-// fpWalker renders values into a reusable buffer. Pooled: fingerprint
-// runs once per job on the sweep hot path.
-type fpWalker struct {
+// fpBuf is a pooled render buffer: fingerprint runs once per job on
+// the sweep hot path, and a typical canonical encoding is ~1.5KB.
+type fpBuf struct {
 	buf []byte
 }
 
-var fpPool = sync.Pool{New: func() any { return &fpWalker{buf: make([]byte, 0, 1024)} }}
-
-// typeInfo caches the identity strings the walk needs for a type:
-// its qualified name and (for structs) its field names. Reading these
-// through reflect.Type allocates on every call; they are immutable,
-// so one lookup per type for the life of the process suffices.
-type typeInfo struct {
-	name   string
-	fields []string
-}
-
-var typeInfos sync.Map // reflect.Type → *typeInfo
-
-func typeInfoFor(t reflect.Type) *typeInfo {
-	if ti, ok := typeInfos.Load(t); ok {
-		return ti.(*typeInfo)
-	}
-	ti := &typeInfo{name: qualifiedTypeName(t)}
-	if t.Kind() == reflect.Struct {
-		ti.fields = make([]string, t.NumField())
-		for i := range ti.fields {
-			ti.fields[i] = t.Field(i).Name
-		}
-	}
-	actual, _ := typeInfos.LoadOrStore(t, ti)
-	return actual.(*typeInfo)
-}
-
-// qualifiedTypeName renders a type's identity with its full import
-// path (e.g. "sysscale/internal/policy.SysScale" rather than
-// "policy.SysScale"). Pointer types are unwrapped recursively; types
-// without a package path (unnamed composites, builtins) keep their
-// structural String rendering, which is unambiguous for them.
-func qualifiedTypeName(t reflect.Type) string {
-	if t.Kind() == reflect.Ptr {
-		return "*" + qualifiedTypeName(t.Elem())
-	}
-	if pp := t.PkgPath(); pp != "" {
-		return pp + "." + t.Name()
-	}
-	return t.String()
-}
-
-// writeValue renders v canonically into the walker's buffer, returning
-// false when the value cannot be rendered soundly. Unexported fields
-// are read through the kind-specific accessors, which reflect permits
-// without Interface().
-func (w *fpWalker) writeValue(v reflect.Value, depth int) bool {
-	if depth <= 0 {
-		return false
-	}
-	if !v.IsValid() {
-		w.buf = append(w.buf, "<zero>"...)
-		return true
-	}
-	switch v.Kind() {
-	case reflect.Bool:
-		w.buf = strconv.AppendBool(w.buf, v.Bool())
-	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		w.buf = strconv.AppendInt(w.buf, v.Int(), 10)
-	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-		w.buf = strconv.AppendUint(w.buf, v.Uint(), 10)
-	case reflect.Float32, reflect.Float64:
-		// 'b' is exact (binary mantissa/exponent): no two distinct
-		// floats share a rendering.
-		w.buf = strconv.AppendFloat(w.buf, v.Float(), 'b', -1, 64)
-	case reflect.Complex64, reflect.Complex128:
-		c := v.Complex()
-		w.buf = strconv.AppendFloat(w.buf, real(c), 'b', -1, 64)
-		w.buf = append(w.buf, '/')
-		w.buf = strconv.AppendFloat(w.buf, imag(c), 'b', -1, 64)
-	case reflect.String:
-		w.buf = strconv.AppendQuote(w.buf, v.String())
-	case reflect.Ptr:
-		if v.IsNil() {
-			w.buf = append(w.buf, "nil"...)
-			return true
-		}
-		w.buf = append(w.buf, '&')
-		return w.writeValue(v.Elem(), depth-1)
-	case reflect.Interface:
-		if v.IsNil() {
-			w.buf = append(w.buf, "nil"...)
-			return true
-		}
-		// The dynamic type is part of the identity: two policies with
-		// identical fields but different types behave differently. The
-		// name must be package-path-qualified: reflect.Type.String uses
-		// the unqualified package name, so two same-named types from
-		// different packages would alias onto one cache key and return
-		// each other's cached Results.
-		w.buf = append(w.buf, typeInfoFor(v.Elem().Type()).name...)
-		w.buf = append(w.buf, '(')
-		if !w.writeValue(v.Elem(), depth-1) {
-			return false
-		}
-		w.buf = append(w.buf, ')')
-	case reflect.Struct:
-		ti := typeInfoFor(v.Type())
-		w.buf = append(w.buf, ti.name...)
-		w.buf = append(w.buf, '{')
-		for i, name := range ti.fields {
-			w.buf = append(w.buf, name...)
-			w.buf = append(w.buf, ':')
-			if !w.writeValue(v.Field(i), depth-1) {
-				return false
-			}
-			w.buf = append(w.buf, ',')
-		}
-		w.buf = append(w.buf, '}')
-	case reflect.Slice, reflect.Array:
-		if v.Kind() == reflect.Slice && v.IsNil() {
-			w.buf = append(w.buf, "nil"...)
-			return true
-		}
-		w.buf = append(w.buf, '[')
-		w.buf = strconv.AppendInt(w.buf, int64(v.Len()), 10)
-		w.buf = append(w.buf, ':')
-		for i := 0; i < v.Len(); i++ {
-			if !w.writeValue(v.Index(i), depth-1) {
-				return false
-			}
-			w.buf = append(w.buf, ',')
-		}
-		w.buf = append(w.buf, ']')
-	default:
-		// Map (nondeterministic iteration), Func, Chan, UnsafePointer:
-		// no sound canonical rendering.
-		return false
-	}
-	return true
-}
+var fpPool = sync.Pool{New: func() any { return &fpBuf{buf: make([]byte, 0, 2048)} }}

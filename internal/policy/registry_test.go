@@ -1,0 +1,191 @@
+package policy
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"sysscale/internal/soc"
+)
+
+func TestRegisterRejectsDuplicateName(t *testing.T) {
+	c := Codec{
+		Type:         reflect.TypeOf(&testOnlyPolicy{}),
+		Decode:       func([]byte) (soc.Policy, error) { return &testOnlyPolicy{}, nil },
+		Encode:       func(p soc.Policy) (any, bool) { _, ok := p.(*testOnlyPolicy); return struct{}{}, ok },
+		AppendParams: func(b []byte, p soc.Policy) ([]byte, bool) { return append(b, '{', '}'), true },
+	}
+	// "sysscale" is taken by the init registration.
+	if err := Register("sysscale", c); err == nil {
+		t.Fatalf("Register(%q) accepted a duplicate name", "sysscale")
+	}
+	// A fresh name with an already-registered type must fail too.
+	dup := c
+	dup.Type = reflect.TypeOf(&SysScale{})
+	if err := Register("sysscale-again", dup); err == nil {
+		t.Fatalf("Register accepted a duplicate concrete type")
+	}
+}
+
+func TestRegisterRejectsDuplicateWrapper(t *testing.T) {
+	w := Wrapper{Type: reflect.TypeOf(&testOnlyPolicy{}), Wrap: func(p soc.Policy) soc.Policy { return p }}
+	if err := RegisterWrapper("no-mrc", w); err == nil {
+		t.Fatalf("RegisterWrapper accepted a duplicate name")
+	}
+	dup := Wrapper{Type: reflect.TypeOf(&mrcOff{}), Wrap: func(p soc.Policy) soc.Policy { return p }}
+	if err := RegisterWrapper("no-mrc-again", dup); err == nil {
+		t.Fatalf("RegisterWrapper accepted a duplicate concrete type")
+	}
+}
+
+func TestRegisterRejectsIncompleteCodec(t *testing.T) {
+	if err := Register("", Codec{}); err == nil {
+		t.Fatalf("Register accepted an empty name")
+	}
+	if err := Register("incomplete", Codec{}); err == nil {
+		t.Fatalf("Register accepted a codec with nil hooks")
+	}
+}
+
+type testOnlyPolicy struct{}
+
+func (*testOnlyPolicy) Name() string      { return "test-only" }
+func (*testOnlyPolicy) Reset()            {}
+func (*testOnlyPolicy) Clone() soc.Policy { return &testOnlyPolicy{} }
+func (*testOnlyPolicy) Decide(soc.PolicyContext) soc.PolicyDecision {
+	return soc.PolicyDecision{}
+}
+
+// registryPolicies covers every family and wrapper combination the
+// experiments use.
+func registryPolicies() []soc.Policy {
+	return []soc.Policy{
+		NewBaseline(),
+		NewSysScaleDefault(),
+		NewMemScale(),
+		NewMemScaleRedist(),
+		NewCoScale(),
+		NewCoScaleRedist(),
+		NewStaticPoint(1, true),
+		&StaticPoint{PointIndex: 0, OptimizedMRC: false, Redistribute: false},
+		WithoutOptimizedMRC(NewSysScaleDefault()),
+		WithoutRedistribution(NewSysScaleDefault()),
+		WithoutRedistribution(WithoutOptimizedMRC(NewSysScaleDefault())),
+	}
+}
+
+func TestDeconstructBuildRoundTrip(t *testing.T) {
+	for _, p := range registryPolicies() {
+		name, params, wrap, ok := Deconstruct(p)
+		if !ok {
+			t.Fatalf("Deconstruct(%s): not registered", p.Name())
+		}
+		raw, err := json.Marshal(params)
+		if err != nil {
+			t.Fatalf("marshal %s params: %v", name, err)
+		}
+		back, err := Build(name, raw, wrap)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		if got, want := back.Name(), p.Name(); got != want {
+			t.Errorf("round-trip of %s: Name() = %q, want %q", name, got, want)
+		}
+		if !reflect.DeepEqual(back, p) {
+			t.Errorf("round-trip of %s: rebuilt policy differs: %#v vs %#v", name, back, p)
+		}
+	}
+}
+
+func TestBuildDefaultsMatchConstructors(t *testing.T) {
+	cases := []struct {
+		name string
+		want soc.Policy
+	}{
+		{"baseline", NewBaseline()},
+		{"sysscale", NewSysScaleDefault()},
+		{"memscale", NewMemScale()},
+		{"coscale", NewCoScale()},
+		{"static-point", NewStaticPoint(0, false)},
+	}
+	for _, tc := range cases {
+		for _, params := range [][]byte{nil, []byte("null"), []byte("{}")} {
+			got, err := Build(tc.name, params, nil)
+			if err != nil {
+				t.Fatalf("Build(%s, %q): %v", tc.name, params, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("Build(%s, %q) = %#v, want constructor default %#v", tc.name, params, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsUnknown(t *testing.T) {
+	if _, err := Build("no-such-policy", nil, nil); err == nil {
+		t.Fatalf("Build accepted an unknown policy name")
+	}
+	if _, err := Build("sysscale", []byte(`{"bogus_knob":1}`), nil); err == nil {
+		t.Fatalf("Build accepted unknown params fields")
+	}
+	if _, err := Build("sysscale", nil, []string{"no-such-wrapper"}); err == nil {
+		t.Fatalf("Build accepted an unknown wrapper name")
+	}
+	if _, err := Build("sysscale", []byte(`{} {}`), nil); err == nil {
+		t.Fatalf("Build accepted trailing params data")
+	}
+}
+
+// TestAppendParamsCanonical proves each codec's zero-alloc appender
+// emits exactly the sorted-and-compacted json.Marshal of its Encode
+// value — the equivalence the spec layer's canonical-bytes contract
+// rests on.
+func TestAppendParamsCanonical(t *testing.T) {
+	for _, p := range registryPolicies() {
+		base := p
+		for {
+			u, ok := base.(interface{ Unwrap() soc.Policy })
+			if !ok {
+				break
+			}
+			base = u.Unwrap()
+		}
+		name, c, ok := CodecFor(base)
+		if !ok {
+			t.Fatalf("CodecFor(%s): not registered", base.Name())
+		}
+		params, ok := c.Encode(base)
+		if !ok {
+			t.Fatalf("%s: Encode rejected its own type", name)
+		}
+		want, err := canonicalJSON(params)
+		if err != nil {
+			t.Fatalf("%s: canonicalize: %v", name, err)
+		}
+		got, ok := c.AppendParams(nil, base)
+		if !ok {
+			t.Fatalf("%s: AppendParams rejected its own type", name)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: AppendParams = %s, want %s", name, got, want)
+		}
+	}
+}
+
+// canonicalJSON marshals v, then re-marshals through a number-
+// preserving decode so object keys come out sorted and whitespace-free
+// while numeric literals stay byte-identical.
+func canonicalJSON(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return nil, err
+	}
+	return json.Marshal(tree)
+}

@@ -1,0 +1,30 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReadJob decodes one job spec from r. Unknown fields are rejected —
+// a typo in a knob name must fail loudly, not silently run the
+// default — but the document is not otherwise validated; Decode is
+// where semantic validation happens.
+func ReadJob(r io.Reader) (Job, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var job Job
+	if err := dec.Decode(&job); err != nil {
+		return Job{}, fmt.Errorf("spec: decode: %w", err)
+	}
+	return job, nil
+}
+
+// WriteJob encodes a job spec (indented) to w. The output is readable
+// back via ReadJob; it is not the canonical encoding (see Canonical),
+// just a human-friendly rendering of the same document.
+func WriteJob(w io.Writer, job Job) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(job)
+}

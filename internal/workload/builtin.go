@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Builtin resolves a built-in workload by name, matched
+// case-insensitively against every shipped suite: SPEC CPU2006, the
+// 3DMark graphics suite, the battery-life suite, the productivity
+// suite, and the STREAM microbenchmark ("stream" or "stream-peak-bw").
+// This is the lookup behind spec files' {"workload":{"builtin":...}}
+// and the CLIs' -workload flags.
+func Builtin(name string) (Workload, error) {
+	lower := strings.ToLower(name)
+	// SPEC lookup is by canonical name (some are mixed-case, e.g.
+	// 436.cactusADM); resolve the query against the canonical list.
+	for _, n := range SPECNames() {
+		if strings.ToLower(n) == lower {
+			return SPEC(n)
+		}
+	}
+	for _, suite := range [][]Workload{GraphicsSuite(), BatterySuite(), ProductivitySuite()} {
+		for _, w := range suite {
+			if strings.ToLower(w.Name) == lower {
+				return w, nil
+			}
+		}
+	}
+	if lower == "stream" || lower == "stream-peak-bw" {
+		return Stream(), nil
+	}
+	return Workload{}, fmt.Errorf("workload: unknown built-in %q", name)
+}
+
+// BuiltinNames returns every name Builtin accepts (canonical
+// capitalization, sorted).
+func BuiltinNames() []string {
+	names := append([]string(nil), SPECNames()...)
+	for _, suite := range [][]Workload{GraphicsSuite(), BatterySuite(), ProductivitySuite()} {
+		for _, w := range suite {
+			names = append(names, w.Name)
+		}
+	}
+	names = append(names, Stream().Name)
+	sort.Strings(names)
+	return names
+}

@@ -72,6 +72,7 @@ package sysscale
 
 import (
 	"context"
+	"crypto/sha256"
 	"io"
 
 	"sysscale/internal/core"
@@ -82,6 +83,7 @@ import (
 	"sysscale/internal/power"
 	"sysscale/internal/sim"
 	"sysscale/internal/soc"
+	"sysscale/internal/spec"
 	"sysscale/internal/vf"
 	"sysscale/internal/workload"
 	"sysscale/internal/workload/gen"
@@ -405,6 +407,101 @@ func NewWorkloadTrace(cfg GenConfig, n int) WorkloadTrace { return gen.NewTrace(
 // WriteWorkloadTrace / ReadWorkloadTrace persist traces as JSON.
 func WriteWorkloadTrace(w io.Writer, t WorkloadTrace) error { return gen.WriteTrace(w, t) }
 func ReadWorkloadTrace(r io.Reader) (WorkloadTrace, error)  { return gen.ReadTrace(r) }
+
+// Job specs (internal/spec): the versioned JSON document that
+// round-trips every runnable Config — platform, workload (built-in
+// name, inline phases, or a tracegen trace entry), policy (registry
+// name + typed params + ablation wrappers), run parameters and A/B
+// knobs. DecodeSpec validates like Run does, so a spec that decodes is
+// a spec that runs; SpecFingerprint over the canonical encoding is the
+// engine's cache identity, stable across processes.
+type (
+	// JobSpec is one serializable simulation job.
+	JobSpec = spec.Job
+	// PlatformSpec is a JobSpec's platform section.
+	PlatformSpec = spec.Platform
+	// PointSpec is one serialized IO+memory operating point.
+	PointSpec = spec.Point
+	// CSRSpec is the serialized display/camera configuration.
+	CSRSpec = spec.CSR
+	// PanelSpec is one serialized display head.
+	PanelSpec = spec.PanelCfg
+	// WorkloadSpec selects a JobSpec's workload (exactly one form).
+	WorkloadSpec = spec.WorkloadRef
+	// TraceSpec embeds a tracegen trace and picks one workload from it.
+	TraceSpec = spec.TraceRef
+	// PolicySpec selects a registered policy family by name.
+	PolicySpec = spec.Policy
+	// RunSpec carries the serialized run parameters (nanoseconds).
+	RunSpec = spec.Run
+	// KnobsSpec carries the serialized A/B verification knobs.
+	KnobsSpec = spec.Knobs
+)
+
+// SpecVersion is the job-spec wire-format version this build reads and
+// writes; DecodeSpec rejects any other version.
+const SpecVersion = spec.Version
+
+// EncodeSpec serializes a runnable Config to its normalized spec:
+// workload inlined, every field explicit, policy parameters fully
+// populated. It fails for policy types not known to the registry.
+func EncodeSpec(cfg Config) (JobSpec, error) { return spec.Encode(cfg) }
+
+// DecodeSpec resolves a job spec to a runnable Config, validating it
+// the way Run would (errors wrap ErrInvalidConfig where applicable).
+func DecodeSpec(job JobSpec) (Config, error) { return spec.Decode(job) }
+
+// ReadJobSpec / WriteJobSpec persist job specs as JSON. ReadJobSpec
+// rejects unknown fields; WriteJobSpec emits an indented, readable
+// rendering (not the canonical encoding — see CanonicalSpec).
+func ReadJobSpec(r io.Reader) (JobSpec, error)    { return spec.ReadJob(r) }
+func WriteJobSpec(w io.Writer, job JobSpec) error { return spec.WriteJob(w, job) }
+
+// CanonicalSpec returns the job's canonical bytes: the JSON of its
+// normalized form with keys sorted and whitespace removed. Two specs
+// describing the same simulation (a built-in named vs the same
+// workload inlined) canonicalize identically.
+func CanonicalSpec(job JobSpec) ([]byte, error) { return spec.Canonical(job) }
+
+// SpecFingerprint returns sha256 of the canonical spec bytes — the
+// engine's cache key for the decoded job, reproducible by any process
+// that can normalize, sort and compact the same JSON.
+func SpecFingerprint(job JobSpec) ([sha256.Size]byte, error) { return spec.Fingerprint(job) }
+
+// JobFromSpec decodes a spec into an engine Job (DecodeSpec + wrap),
+// for batch submission through Engine.RunBatch or Stream.
+func JobFromSpec(job JobSpec) (Job, error) { return engine.FromSpec(job) }
+
+// Policy registry types: how policy families serialize in job specs.
+type (
+	// PolicyCodec decodes/encodes one policy family's typed parameters.
+	PolicyCodec = policy.Codec
+	// PolicyWrapper builds one ablation wrapper by name.
+	PolicyWrapper = policy.Wrapper
+)
+
+// RegisterPolicy adds a policy family to the spec registry under name.
+// Registration is what gives a policy type a serialized identity —
+// and an engine cache key; unregistered policy types still run but
+// never cache. Duplicate names or duplicate concrete types are
+// rejected, so two packages cannot silently alias one identity.
+func RegisterPolicy(name string, c PolicyCodec) error { return policy.Register(name, c) }
+
+// RegisterPolicyWrapper adds an ablation wrapper to the registry.
+func RegisterPolicyWrapper(name string, w PolicyWrapper) error {
+	return policy.RegisterWrapper(name, w)
+}
+
+// PolicyNames lists the registered policy family names, sorted.
+func PolicyNames() []string { return policy.Names() }
+
+// BuiltinWorkload resolves a shipped workload by name (matched
+// case-insensitively across every suite) — the lookup behind spec
+// files' {"workload":{"builtin":...}} and the CLIs' -workload flags.
+func BuiltinWorkload(name string) (Workload, error) { return workload.Builtin(name) }
+
+// BuiltinWorkloadNames lists every name BuiltinWorkload accepts.
+func BuiltinWorkloadNames() []string { return workload.BuiltinNames() }
 
 // HighPoint and LowPoint return the paper's two shipped operating
 // points (Table 1).
