@@ -2,9 +2,9 @@
 //
 // Usage:
 //
-//	experiments [-run name] [-fig6n N] [-parallel N]
+//	experiments [-run name] [-fig6n N] [-parallel N] [-cache-dir dir/]
 //	experiments -montecarlo [-seed S] [-n N] [-parallel N]
-//	experiments -specs dir/ [-parallel N]
+//	experiments -specs dir/ [-parallel N] [-cache-dir dir/]
 //	experiments -cpuprofile cpu.pprof -memprofile mem.pprof [...]
 //
 // -cpuprofile and -memprofile write pprof profiles of whatever
@@ -29,6 +29,13 @@
 // each file's fingerprint and result. Identical specs — and repeats of
 // a spec already run this invocation — are simulated once and served
 // from the engine's result cache.
+//
+// -cache-dir layers the persistent on-disk result tier under the
+// engine's in-memory cache: results are keyed by the canonical spec
+// fingerprint and survive process restarts, so repeating a sweep (or
+// sharing the directory between machines) serves it from disk instead
+// of re-simulating. Corrupt entries degrade to counted misses. A final
+// "cache:" line reports both tiers.
 package main
 
 import (
@@ -61,11 +68,18 @@ func run() int {
 	seed := flag.Uint64("seed", 1, "Monte Carlo workload-generator seed")
 	mcN := flag.Int("n", 100, "Monte Carlo generated workload count")
 	specsDir := flag.String("specs", "", "run every job-spec JSON file in this directory instead")
+	cacheDir := flag.String("cache-dir", "", "persistent on-disk result cache directory (shared across runs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 	if *parallel != 0 {
 		experiments.SetParallelism(*parallel)
+	}
+	if *cacheDir != "" && *specsDir == "" {
+		if err := experiments.SetDiskCache(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "cache-dir: %v\n", err)
+			return 1
+		}
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -108,7 +122,7 @@ func run() int {
 	context.AfterFunc(ctx, stop)
 
 	if *specsDir != "" {
-		return runSpecs(ctx, *specsDir, *parallel)
+		return runSpecs(ctx, *specsDir, *parallel, *cacheDir)
 	}
 
 	mcFn := func(ctx context.Context) (fmt.Stringer, error) {
@@ -189,12 +203,24 @@ func run() int {
 		}
 		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(start).Seconds(), out)
 	}
+	if *cacheDir != "" {
+		printCacheStats(experiments.Engine().CacheStats())
+	}
 	return 0
 }
 
+// printCacheStats reports the two result tiers after a -cache-dir run;
+// the CI disk-cache smoke greps this line for cross-process reuse.
+func printCacheStats(st sysscale.EngineStats) {
+	fmt.Printf("cache: %d memory hits, %d disk hits, %d disk misses, %d disk errors, %d bytes on disk\n",
+		st.Hits, st.DiskHits, st.DiskMisses, st.DiskErrors, st.DiskBytes)
+}
+
 // runSpecs runs every *.json job spec in dir as one engine batch and
-// prints each file's fingerprint and result in file order.
-func runSpecs(ctx context.Context, dir string, parallel int) int {
+// prints each file's fingerprint and result in file order. With a
+// cache dir, results persist across invocations: a repeated run is
+// served from disk without simulating.
+func runSpecs(ctx context.Context, dir string, parallel int, cacheDir string) int {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "specs: %v\n", err)
@@ -223,12 +249,26 @@ func runSpecs(ctx context.Context, dir string, parallel int) int {
 			fmt.Fprintf(os.Stderr, "specs: %s: %v\n", p, err)
 			return 1
 		}
-		if fp, err := sysscale.SpecFingerprint(js); err == nil {
+		// A spec that decodes but cannot be fingerprinted (an
+		// unregistered policy, say) still runs — but uncached, which at
+		// sweep volumes is a problem worth hearing about, not a line to
+		// silently omit.
+		if fp, err := sysscale.SpecFingerprint(js); err != nil {
+			fmt.Fprintf(os.Stderr, "specs: %s: fingerprint: %v (job will run uncached)\n", p, err)
+		} else {
 			fmt.Printf("%s  %x\n", p, fp[:8])
 		}
 	}
 
-	eng := sysscale.NewEngine(sysscale.WithParallelism(parallel))
+	opts := []sysscale.EngineOption{sysscale.WithParallelism(parallel)}
+	if cacheDir != "" {
+		opts = append(opts, sysscale.WithDiskCache(cacheDir))
+	}
+	eng := sysscale.NewEngine(opts...)
+	if err := eng.DiskCacheError(); err != nil {
+		fmt.Fprintf(os.Stderr, "cache-dir: %v\n", err)
+		return 1
+	}
 	start := time.Now()
 	results, err := eng.RunBatchContext(ctx, jobs)
 	if err != nil {
@@ -241,6 +281,9 @@ func runSpecs(ctx context.Context, dir string, parallel int) int {
 	fmt.Printf("==== specs: %d jobs (%.1fs) ====\n", len(jobs), time.Since(start).Seconds())
 	for i, res := range results {
 		fmt.Printf("%s:\n%s\n", paths[i], res)
+	}
+	if cacheDir != "" {
+		printCacheStats(eng.CacheStats())
 	}
 	return 0
 }

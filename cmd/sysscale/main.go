@@ -4,8 +4,8 @@
 // Usage:
 //
 //	sysscale -workload 470.lbm -policy sysscale [-tdp 4.5] [-duration 4s]
-//	         [-compare] [-verbose]
-//	sysscale -spec job.json [-compare] [-verbose]
+//	         [-compare] [-verbose] [-cache-dir dir/]
+//	sysscale -spec job.json [-compare] [-verbose] [-cache-dir dir/]
 //
 // -workload accepts any built-in name (SPEC CPU2006, the 3DMark,
 // battery-life and productivity suites, "stream"), matched
@@ -19,6 +19,11 @@
 // runs the baseline and prints the deltas. -verbose adds per-rail
 // average power, DVFS transition statistics and operating-point
 // residency.
+//
+// -cache-dir routes the run through the persistent on-disk result
+// cache (see the README's "Persistent result cache"): a repeated
+// invocation with the same job prints the same result without
+// simulating, and a final "cache:" line reports the disk traffic.
 package main
 
 import (
@@ -48,6 +53,7 @@ func main() {
 		duration = flag.Duration("duration", 4*time.Second, "simulated duration")
 		compare  = flag.Bool("compare", false, "also run the baseline and print deltas")
 		verbose  = flag.Bool("verbose", false, "print per-rail power, transition and residency detail")
+		cacheDir = flag.String("cache-dir", "", "persistent on-disk result cache directory (shared across runs)")
 		list     = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
@@ -100,7 +106,21 @@ func main() {
 	defer stop()
 	context.AfterFunc(ctx, stop)
 
-	res, err := sysscale.RunContext(ctx, cfg)
+	// With -cache-dir the run goes through an engine carrying the
+	// persistent result tier: a repeated invocation with the same job
+	// is served from disk instead of simulating.
+	run := sysscale.RunContext
+	var eng *sysscale.Engine
+	if *cacheDir != "" {
+		eng = sysscale.NewEngine(sysscale.WithDiskCache(*cacheDir))
+		if err := eng.DiskCacheError(); err != nil {
+			fmt.Fprintf(os.Stderr, "cache-dir: %v\n", err)
+			os.Exit(1)
+		}
+		run = eng.RunContext
+	}
+
+	res, err := run(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		if errors.Is(err, context.Canceled) {
@@ -115,7 +135,7 @@ func main() {
 
 	if *compare && cfg.Policy.Name() != sysscale.NewBaseline().Name() {
 		cfg.Policy = sysscale.NewBaseline()
-		base, err := sysscale.RunContext(ctx, cfg)
+		base, err := run(ctx, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			if errors.Is(err, context.Canceled) {
@@ -127,6 +147,11 @@ func main() {
 			100*sysscale.PerfImprovement(res, base),
 			100*(float64(res.AvgPower/base.AvgPower)-1),
 			100*sysscale.EDPImprovement(res, base))
+	}
+	if eng != nil {
+		st := eng.CacheStats()
+		fmt.Printf("cache: %d disk hits, %d disk misses, %d disk errors, %d bytes on disk\n",
+			st.DiskHits, st.DiskMisses, st.DiskErrors, st.DiskBytes)
 	}
 }
 

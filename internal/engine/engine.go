@@ -36,6 +36,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sysscale/internal/diskcache"
 	"sysscale/internal/soc"
 	"sysscale/internal/spec"
 )
@@ -126,6 +127,24 @@ func WithCacheSize(n int) Option {
 	return func(e *Engine) { e.cacheSize = n }
 }
 
+// WithDiskCache layers the persistent on-disk result tier (see
+// internal/diskcache) under the in-memory LRU, rooted at dir. Results
+// computed by any engine — in this process or another — with the same
+// canonical config fingerprint are served from disk across process
+// restarts, bit-identically (the entry payload is an exact binary
+// encoding of the soc.Result). Corrupt or truncated entries read as
+// misses, are pruned, and count in Stats.DiskErrors; they never poison
+// a result or abort a batch. Uncacheable jobs bypass the tier like
+// they bypass the LRU.
+//
+// The store is opened by New; an open failure (unwritable dir) leaves
+// the engine fully functional without the disk tier and is reported by
+// DiskCacheError — callers wiring a user-supplied directory should
+// check it and fail loudly.
+func WithDiskCache(dir string) Option {
+	return func(e *Engine) { e.diskDir = dir }
+}
+
 // Uncacheable is an optional interface a policy implements to opt out
 // of memoization and coalescing. Policies whose Decide has observable
 // side effects beyond the returned decision (telemetry recorders such
@@ -156,6 +175,24 @@ type Stats struct {
 	SpanHits    int
 	SpanMisses  int
 	SpanEntries int
+	// SpanDropped counts span integrations not inserted because the
+	// span cache was full — the saturation signal. A steadily rising
+	// SpanDropped means the sweep's working set of distinct spans
+	// exceeds the cache bound and cross-job reuse is degrading
+	// silently; raise soc.NewSpanCache's bound (or accept the miss
+	// traffic) rather than ignoring it.
+	SpanDropped int
+
+	// DiskHits/DiskMisses/DiskErrors/DiskBytes snapshot the persistent
+	// on-disk result tier (WithDiskCache): results served from disk
+	// into the LRU, lookups that found no entry, corrupt or unreadable
+	// entries degraded to misses (and pruned) plus failed writes, and
+	// the store's current entry footprint. All zero when no disk tier
+	// is configured.
+	DiskHits   int
+	DiskMisses int
+	DiskErrors int
+	DiskBytes  int64
 }
 
 // cacheKey is a config fingerprint (fingerprint.go): a sha256 digest,
@@ -182,6 +219,14 @@ type Engine struct {
 	// matches (see soc.SpanCache).
 	spans *soc.SpanCache
 
+	// disk is the persistent second result tier (nil without
+	// WithDiskCache): consulted under the in-memory LRU on a miss,
+	// written through on every cacheable simulation. diskErr records a
+	// failed store open; the engine then runs without the tier.
+	disk    *diskcache.Store
+	diskDir string
+	diskErr error
+
 	mu sync.Mutex
 	// cache + order form the size-capped LRU over results: cache maps
 	// fingerprints to their list elements; order is most-recently-used
@@ -203,8 +248,18 @@ func New(opts ...Option) *Engine {
 	e.cache = make(map[cacheKey]*list.Element)
 	e.order = list.New()
 	e.spans = soc.NewSpanCache(0)
+	if e.diskDir != "" {
+		e.disk, e.diskErr = diskcache.Open(e.diskDir)
+	}
 	return e
 }
+
+// DiskCacheError reports whether WithDiskCache failed to open its
+// store (nil otherwise, including when no disk tier was requested).
+// The engine stays fully functional without the tier; callers wiring a
+// user-supplied cache directory should surface this loudly instead of
+// letting every run silently re-simulate.
+func (e *Engine) DiskCacheError() error { return e.diskErr }
 
 // cacheGet looks key up in the LRU, refreshing its recency on a hit.
 // Callers hold e.mu.
@@ -253,12 +308,22 @@ func (e *Engine) CacheStats() Stats {
 	s.SpanHits = sc.Hits
 	s.SpanMisses = sc.Misses
 	s.SpanEntries = sc.Entries
+	s.SpanDropped = sc.Dropped
+	if e.disk != nil {
+		ds := e.disk.Stats()
+		s.DiskHits = ds.Hits
+		s.DiskMisses = ds.Misses
+		s.DiskErrors = ds.Errors
+		s.DiskBytes = ds.Bytes
+	}
 	return s
 }
 
 // ClearCache drops every memoized result and every cached span delta
 // (the hit/miss counters are kept). Both caches are bounded, so this
 // is about reclaiming memory promptly, not about preventing growth.
+// The on-disk tier is untouched: persistence across processes is its
+// point; delete the cache directory to reclaim it.
 func (e *Engine) ClearCache() {
 	e.mu.Lock()
 	e.cache = make(map[cacheKey]*list.Element)
@@ -469,6 +534,21 @@ func (e *Engine) runJobs(ctx context.Context, jobs []Job, deliver func(JobResult
 			e.mu.Unlock()
 			continue
 		}
+		// Memory miss, first sighting in this batch: consult the
+		// persistent tier. A disk hit is promoted into the LRU so the
+		// rest of the sweep pays memory prices; it counts as DiskHits,
+		// not Hits (the tiers are reported separately).
+		if e.disk != nil {
+			if r, ok := e.disk.Get(key); ok {
+				e.mu.Lock()
+				e.cachePut(key, r)
+				e.mu.Unlock()
+				if !deliver(JobResult{Index: i, Result: cloneResult(r)}) {
+					return
+				}
+				continue
+			}
+		}
 		t := &task{key: key, cacheable: true, indices: []int{i}}
 		byKey[key] = t
 		tasks = append(tasks, t)
@@ -550,6 +630,11 @@ func (e *Engine) execute(ctx context.Context, jobs []Job, t *task, deliver func(
 		e.cachePut(t.key, cloneResult(res))
 	}
 	e.mu.Unlock()
+	if t.cacheable && e.disk != nil {
+		// Write-through to the persistent tier (atomic on disk; a
+		// failed write counts a DiskError and costs nothing else).
+		e.disk.Put(t.key, res)
+	}
 	for _, i := range t.indices {
 		if !deliver(JobResult{Index: i, Result: cloneResult(res)}) {
 			return

@@ -36,19 +36,47 @@ import (
 const minRunTime = 2 * sim.Second
 
 // shared is the engine every experiment submits to. Replacing it via
-// SetParallelism drops the memoized results.
+// SetParallelism/SetDiskCache drops the memoized results (the on-disk
+// tier, when configured, persists by design).
 var (
-	engMu  sync.Mutex
-	shared = engine.New()
+	engMu       sync.Mutex
+	parallelism int
+	diskDir     string
+	shared      = engine.New()
 )
+
+// rebuild replaces the shared engine with one reflecting the current
+// knobs. Callers hold engMu.
+func rebuild() {
+	opts := []engine.Option{engine.WithParallelism(parallelism)}
+	if diskDir != "" {
+		opts = append(opts, engine.WithDiskCache(diskDir))
+	}
+	shared = engine.New(opts...)
+}
 
 // SetParallelism rebuilds the shared experiment engine with at most n
 // simulations in flight (n <= 0 restores the GOMAXPROCS default). The
-// result cache starts empty.
+// in-memory result cache starts empty; a configured disk cache
+// persists.
 func SetParallelism(n int) {
 	engMu.Lock()
 	defer engMu.Unlock()
-	shared = engine.New(engine.WithParallelism(n))
+	parallelism = n
+	rebuild()
+}
+
+// SetDiskCache rebuilds the shared engine with the persistent on-disk
+// result tier rooted at dir (empty disables it), so repeated
+// figure-style sweeps hit disk across process restarts. A store that
+// fails to open is reported here — loudly, since the caller asked for
+// persistence — and leaves the engine running without the tier.
+func SetDiskCache(dir string) error {
+	engMu.Lock()
+	defer engMu.Unlock()
+	diskDir = dir
+	rebuild()
+	return shared.DiskCacheError()
 }
 
 // Engine returns the shared experiment engine (for cache statistics

@@ -8,14 +8,22 @@ import (
 
 // ReadJob decodes one job spec from r. Unknown fields are rejected —
 // a typo in a knob name must fail loudly, not silently run the
-// default — but the document is not otherwise validated; Decode is
-// where semantic validation happens.
+// default — and so is anything but whitespace after the document: a
+// concatenated or half-overwritten spec file must not silently run
+// only its first value. The document is not otherwise validated;
+// Decode is where semantic validation happens.
 func ReadJob(r io.Reader) (Job, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var job Job
 	if err := dec.Decode(&job); err != nil {
 		return Job{}, fmt.Errorf("spec: decode: %w", err)
+	}
+	// json.Decoder stops at the first complete value; probing for a
+	// second token distinguishes clean EOF (trailing whitespace only)
+	// from trailing content.
+	if _, err := dec.Token(); err != io.EOF {
+		return Job{}, fmt.Errorf("spec: decode: trailing data after job spec (one document per file)")
 	}
 	return job, nil
 }

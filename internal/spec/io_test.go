@@ -1,0 +1,41 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestReadJobRejectsTrailingData: a spec file holding more than one
+// JSON value (concatenated documents, a partially overwritten file)
+// must fail loudly — historically ReadJob decoded the first value and
+// silently ignored the rest, so a corrupted sweep input half-ran.
+func TestReadJobRejectsTrailingData(t *testing.T) {
+	job, err := Encode(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one bytes.Buffer
+	if err := WriteJob(&one, job); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("concatenated documents", func(t *testing.T) {
+		two := one.String() + one.String()
+		if _, err := ReadJob(strings.NewReader(two)); err == nil {
+			t.Fatalf("ReadJob accepted two concatenated job documents")
+		} else if !strings.Contains(err.Error(), "trailing") {
+			t.Errorf("error does not name the trailing data: %v", err)
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		if _, err := ReadJob(strings.NewReader(one.String() + "garbage")); err == nil {
+			t.Fatalf("ReadJob accepted trailing non-JSON data")
+		}
+	})
+	t.Run("trailing whitespace ok", func(t *testing.T) {
+		if _, err := ReadJob(strings.NewReader(one.String() + " \n\t\n")); err != nil {
+			t.Fatalf("ReadJob rejected trailing whitespace: %v", err)
+		}
+	})
+}

@@ -102,6 +102,13 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// percentileSorted is Percentile over an already-ascending s, so
+// multi-percentile digests (Summarize, Violin) sort the sample once
+// and read every order statistic from the same sorted copy.
+func percentileSorted(s []float64, p float64) float64 {
 	if p <= 0 {
 		return s[0]
 	}
@@ -128,13 +135,20 @@ type Summary struct {
 	Mean, P5, P50, P95 float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs, sorting the sample once and
+// reading every percentile from the same sorted copy (Percentile sorts
+// per call, which multiplied up on every Monte Carlo digest).
 func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
 	return Summary{
 		Mean: Mean(xs),
-		P5:   Percentile(xs, 5),
-		P50:  Median(xs),
-		P95:  Percentile(xs, 95),
+		P5:   percentileSorted(s, 5),
+		P50:  percentileSorted(s, 50),
+		P95:  percentileSorted(s, 95),
 	}
 }
 
@@ -148,14 +162,21 @@ type ViolinSummary struct {
 	Min, P25, Median, P75, Max, Mean float64
 }
 
-// Violin computes a ViolinSummary of xs.
+// Violin computes a ViolinSummary of xs with one sort: the extremes
+// are the sorted ends, the quartiles and median interpolated order
+// statistics of the same copy.
 func Violin(xs []float64) ViolinSummary {
+	if len(xs) == 0 {
+		return ViolinSummary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
 	return ViolinSummary{
-		Min:    Min(xs),
-		P25:    Percentile(xs, 25),
-		Median: Median(xs),
-		P75:    Percentile(xs, 75),
-		Max:    Max(xs),
+		Min:    s[0],
+		P25:    percentileSorted(s, 25),
+		Median: percentileSorted(s, 50),
+		P75:    percentileSorted(s, 75),
+		Max:    s[len(s)-1],
 		Mean:   Mean(xs),
 	}
 }

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -231,5 +232,47 @@ func TestTableRendering(t *testing.T) {
 	tab.AddRow("only")
 	if !strings.Contains(tab.String(), "only") {
 		t.Fatal("short row lost")
+	}
+}
+
+// TestSummaryDigestsMatchPerPercentileCalls pins the single-sort
+// Summarize/Violin rewrite to the per-call Percentile/Min/Max/Median
+// implementations: identical outputs (bitwise — same interpolation on
+// the same sorted data), including duplicates, negatives, and the
+// empty and single-element edges.
+func TestSummaryDigestsMatchPerPercentileCalls(t *testing.T) {
+	samples := [][]float64{
+		nil,
+		{},
+		{3.25},
+		{1, 2},
+		{5, -3, 5, 0.5, 5, -3, 2.125},
+		{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+	}
+	// A deterministic pseudo-random sample, unsorted on purpose.
+	big := make([]float64, 997)
+	x := uint64(42)
+	for i := range big {
+		x = x*6364136223846793005 + 1442695040888963407
+		big[i] = float64(int64(x>>20))/1e12 - 4
+	}
+	samples = append(samples, big)
+
+	for i, xs := range samples {
+		orig := append([]float64(nil), xs...)
+		s := Summarize(xs)
+		want := Summary{Mean: Mean(xs), P5: Percentile(xs, 5), P50: Median(xs), P95: Percentile(xs, 95)}
+		if s != want {
+			t.Errorf("sample %d: Summarize = %+v, per-percentile calls = %+v", i, s, want)
+		}
+		v := Violin(xs)
+		wantV := ViolinSummary{Min: Min(xs), P25: Percentile(xs, 25), Median: Median(xs),
+			P75: Percentile(xs, 75), Max: Max(xs), Mean: Mean(xs)}
+		if v != wantV {
+			t.Errorf("sample %d: Violin = %+v, per-percentile calls = %+v", i, v, wantV)
+		}
+		if len(xs) > 0 && !reflect.DeepEqual(xs, orig) {
+			t.Errorf("sample %d: digest mutated its input", i)
+		}
 	}
 }

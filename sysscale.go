@@ -222,6 +222,18 @@ func WithCache(enabled bool) EngineOption { return engine.WithCache(enabled) }
 // least-recently-used (n <= 0 selects DefaultCacheSize).
 func WithCacheSize(n int) EngineOption { return engine.WithCacheSize(n) }
 
+// WithDiskCache layers a persistent, content-addressed on-disk result
+// tier under the engine's in-memory LRU, rooted at dir. Entries are
+// keyed by the canonical spec fingerprint (SpecFingerprint), so
+// results persist across process restarts and may be shared between
+// machines; entries are written atomically and checksummed, and a
+// corrupt entry reads as a miss (pruned and counted in
+// EngineStats.DiskErrors) — never a wrong result. The tier is
+// size-bounded, oldest entries reclaimed first. If the store cannot be
+// opened the engine runs without it; check Engine.DiskCacheError after
+// NewEngine when the directory comes from user input.
+func WithDiskCache(dir string) EngineOption { return engine.WithDiskCache(dir) }
+
 // DefaultCacheSize is the result cache's default entry bound.
 const DefaultCacheSize = engine.DefaultCacheSize
 

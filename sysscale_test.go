@@ -335,3 +335,44 @@ func TestRunAPIv2Surface(t *testing.T) {
 		t.Fatalf("batch error %v misclassified", err)
 	}
 }
+
+// TestDiskCacheThroughPublicAPI: the persistent result tier end to
+// end on the public surface — WithDiskCache, DiskCacheError, and the
+// Disk* stats; a fresh engine over the same directory serves the job
+// from disk bit-identically.
+func TestDiskCacheThroughPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	w, err := sysscale.SPEC("470.lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sysscale.DefaultConfig()
+	cfg.Workload = w
+	cfg.Policy = sysscale.NewSysScale()
+	cfg.Duration = 300 * sysscale.Millisecond
+
+	first := sysscale.NewEngine(sysscale.WithDiskCache(dir))
+	if err := first.DiskCacheError(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := first.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := first.CacheStats(); st.DiskMisses != 1 || st.DiskBytes <= 0 {
+		t.Errorf("first run stats = %+v, want 1 disk miss and persisted bytes", st)
+	}
+
+	second := sysscale.NewEngine(sysscale.WithDiskCache(dir))
+	got, err := second.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("disk-served result differs from computed result")
+	}
+	st := second.CacheStats()
+	if st.DiskHits != 1 || st.Misses != 0 {
+		t.Errorf("second engine stats = %+v, want 1 disk hit, 0 simulations", st)
+	}
+}
