@@ -35,7 +35,13 @@
 // fingerprint and survive process restarts, so repeating a sweep (or
 // sharing the directory between machines) serves it from disk instead
 // of re-simulating. Corrupt entries degrade to counted misses. A final
-// "cache:" line reports both tiers.
+// "cache:" line reports both tiers, with a stderr warning when the
+// tier's circuit breaker is open (results not persisting).
+//
+// -job-timeout bounds each job's wall time — an over-budget job fails
+// with a timeout error instead of hanging the sweep — and -retries
+// re-attempts transient-classed failures (see the README's
+// "Robustness" section).
 package main
 
 import (
@@ -69,11 +75,16 @@ func run() int {
 	mcN := flag.Int("n", 100, "Monte Carlo generated workload count")
 	specsDir := flag.String("specs", "", "run every job-spec JSON file in this directory instead")
 	cacheDir := flag.String("cache-dir", "", "persistent on-disk result cache directory (shared across runs)")
+	jobTO := flag.Duration("job-timeout", 0, "per-job wall-time budget (0 = unbounded); over-budget jobs fail instead of hanging the sweep")
+	retries := flag.Int("retries", 0, "extra attempts for transient-classed job failures (I/O faults; not config errors)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 	if *parallel != 0 {
 		experiments.SetParallelism(*parallel)
+	}
+	if *jobTO > 0 || *retries > 0 {
+		experiments.SetHardening(*jobTO, *retries)
 	}
 	if *cacheDir != "" && *specsDir == "" {
 		if err := experiments.SetDiskCache(*cacheDir); err != nil {
@@ -122,7 +133,7 @@ func run() int {
 	context.AfterFunc(ctx, stop)
 
 	if *specsDir != "" {
-		return runSpecs(ctx, *specsDir, *parallel, *cacheDir)
+		return runSpecs(ctx, *specsDir, *parallel, *cacheDir, *jobTO, *retries)
 	}
 
 	mcFn := func(ctx context.Context) (fmt.Stringer, error) {
@@ -210,17 +221,22 @@ func run() int {
 }
 
 // printCacheStats reports the two result tiers after a -cache-dir run;
-// the CI disk-cache smoke greps this line for cross-process reuse.
+// the CI disk-cache smoke greps this line for cross-process reuse. A
+// degraded disk tier (circuit breaker open) is reported on stderr so
+// "the sweep ran but nothing persisted" is never silent.
 func printCacheStats(st sysscale.EngineStats) {
 	fmt.Printf("cache: %d memory hits, %d disk hits, %d disk misses, %d disk errors, %d bytes on disk\n",
 		st.Hits, st.DiskHits, st.DiskMisses, st.DiskErrors, st.DiskBytes)
+	if st.DiskDegraded {
+		fmt.Fprintln(os.Stderr, "cache: disk tier DEGRADED (circuit breaker open; results are not being persisted)")
+	}
 }
 
 // runSpecs runs every *.json job spec in dir as one engine batch and
 // prints each file's fingerprint and result in file order. With a
 // cache dir, results persist across invocations: a repeated run is
 // served from disk without simulating.
-func runSpecs(ctx context.Context, dir string, parallel int, cacheDir string) int {
+func runSpecs(ctx context.Context, dir string, parallel int, cacheDir string, jobTO time.Duration, retries int) int {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "specs: %v\n", err)
@@ -260,7 +276,11 @@ func runSpecs(ctx context.Context, dir string, parallel int, cacheDir string) in
 		}
 	}
 
-	opts := []sysscale.EngineOption{sysscale.WithParallelism(parallel)}
+	opts := []sysscale.EngineOption{
+		sysscale.WithParallelism(parallel),
+		sysscale.WithJobTimeout(jobTO),
+		sysscale.WithRetry(retries, 100*time.Millisecond),
+	}
 	if cacheDir != "" {
 		opts = append(opts, sysscale.WithDiskCache(cacheDir))
 	}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	sysscale -workload 470.lbm -policy sysscale [-tdp 4.5] [-duration 4s]
-//	         [-compare] [-verbose] [-cache-dir dir/]
+//	         [-compare] [-verbose] [-cache-dir dir/] [-job-timeout 30s] [-retries 2]
 //	sysscale -spec job.json [-compare] [-verbose] [-cache-dir dir/]
 //
 // -workload accepts any built-in name (SPEC CPU2006, the 3DMark,
@@ -23,7 +23,13 @@
 // -cache-dir routes the run through the persistent on-disk result
 // cache (see the README's "Persistent result cache"): a repeated
 // invocation with the same job prints the same result without
-// simulating, and a final "cache:" line reports the disk traffic.
+// simulating, and a final "cache:" line reports the disk traffic (with
+// a warning when the tier's circuit breaker is open).
+//
+// -job-timeout bounds the run's wall time — an over-budget run fails
+// with a timeout error instead of hanging the invocation — and
+// -retries re-attempts transient-classed failures (see the README's
+// "Robustness" section for the error taxonomy).
 package main
 
 import (
@@ -54,6 +60,8 @@ func main() {
 		compare  = flag.Bool("compare", false, "also run the baseline and print deltas")
 		verbose  = flag.Bool("verbose", false, "print per-rail power, transition and residency detail")
 		cacheDir = flag.String("cache-dir", "", "persistent on-disk result cache directory (shared across runs)")
+		jobTO    = flag.Duration("job-timeout", 0, "per-run wall-time budget (0 = unbounded); an over-budget run fails instead of hanging")
+		retries  = flag.Int("retries", 0, "extra attempts for transient-classed failures (I/O faults; not config errors)")
 		list     = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
@@ -111,8 +119,15 @@ func main() {
 	// is served from disk instead of simulating.
 	run := sysscale.RunContext
 	var eng *sysscale.Engine
-	if *cacheDir != "" {
-		eng = sysscale.NewEngine(sysscale.WithDiskCache(*cacheDir))
+	if *cacheDir != "" || *jobTO > 0 || *retries > 0 {
+		opts := []sysscale.EngineOption{
+			sysscale.WithJobTimeout(*jobTO),
+			sysscale.WithRetry(*retries, 100*time.Millisecond),
+		}
+		if *cacheDir != "" {
+			opts = append(opts, sysscale.WithDiskCache(*cacheDir))
+		}
+		eng = sysscale.NewEngine(opts...)
 		if err := eng.DiskCacheError(); err != nil {
 			fmt.Fprintf(os.Stderr, "cache-dir: %v\n", err)
 			os.Exit(1)
@@ -148,10 +163,13 @@ func main() {
 			100*(float64(res.AvgPower/base.AvgPower)-1),
 			100*sysscale.EDPImprovement(res, base))
 	}
-	if eng != nil {
+	if eng != nil && *cacheDir != "" {
 		st := eng.CacheStats()
 		fmt.Printf("cache: %d disk hits, %d disk misses, %d disk errors, %d bytes on disk\n",
 			st.DiskHits, st.DiskMisses, st.DiskErrors, st.DiskBytes)
+		if st.DiskDegraded {
+			fmt.Fprintln(os.Stderr, "cache: disk tier DEGRADED (circuit breaker open; runs are not being persisted)")
+		}
 	}
 }
 

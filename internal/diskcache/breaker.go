@@ -1,0 +1,151 @@
+package diskcache
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"sysscale/internal/soc"
+)
+
+// DefaultBreakerThreshold is the consecutive-I/O-failure count that
+// trips a default-constructed breaker open.
+const DefaultBreakerThreshold = 8
+
+// DefaultProbeInterval is how long a tripped breaker waits before
+// letting one probe operation through to test whether the tier healed.
+const DefaultProbeInterval = 5 * time.Second
+
+// Breaker is the disk tier's circuit breaker: it wraps any Tier and
+// watches operation outcomes. After threshold consecutive ErrIO-classed
+// failures it trips open — subsequent Gets report silent misses and
+// Puts are skipped, with zero I/O issued, so a dying disk degrades a
+// sweep to memory-tier speed instead of grinding an I/O error (and its
+// syscall latency, possibly seconds on a hung mount) into every job.
+// While open, one operation per probe interval is admitted as a probe;
+// a probe that succeeds closes the breaker and normal traffic resumes.
+//
+// Only ErrIO failures count toward the trip: corrupt entries are pruned
+// by the store and cannot repeat, so they reset the failure streak like
+// any other completed operation. The zero value is not usable;
+// construct with NewBreaker. A Breaker is safe for concurrent use.
+type Breaker struct {
+	inner     Tier
+	threshold int
+	probe     time.Duration
+
+	mu          sync.Mutex
+	consec      int       // current streak of ErrIO-classed failures
+	open        bool      // tripped: tier is being skipped
+	lastProbe   time.Time // when the breaker tripped or last probed
+	skippedGets int       // Gets answered as misses without I/O
+	skippedPuts int       // Puts dropped without I/O
+	trips       int       // times the breaker has tripped open
+}
+
+// NewBreaker wraps inner with a circuit breaker tripping after
+// threshold consecutive I/O failures (<= 0 selects
+// DefaultBreakerThreshold) and probing every probe interval
+// (<= 0 selects DefaultProbeInterval).
+func NewBreaker(inner Tier, threshold int, probe time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if probe <= 0 {
+		probe = DefaultProbeInterval
+	}
+	return &Breaker{inner: inner, threshold: threshold, probe: probe}
+}
+
+// Get serves key through the wrapped tier, or as an I/O-free miss while
+// the breaker is open (outside probe windows).
+func (b *Breaker) Get(key Key) (soc.Result, bool, error) {
+	if !b.admit(false) {
+		return soc.Result{}, false, nil
+	}
+	res, found, err := b.inner.Get(key)
+	b.record(err)
+	return res, found, err
+}
+
+// Put stores through the wrapped tier, or drops the insert silently
+// while the breaker is open (outside probe windows).
+func (b *Breaker) Put(key Key, res soc.Result) error {
+	if !b.admit(true) {
+		return nil
+	}
+	err := b.inner.Put(key, res)
+	b.record(err)
+	return err
+}
+
+// admit reports whether the next operation may reach the tier. While
+// open, only one operation per probe interval is admitted (as the
+// probe); everything else is counted skipped.
+func (b *Breaker) admit(put bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if now := time.Now(); now.Sub(b.lastProbe) >= b.probe {
+		b.lastProbe = now
+		return true
+	}
+	if put {
+		b.skippedPuts++
+	} else {
+		b.skippedGets++
+	}
+	return false
+}
+
+// record feeds one admitted operation's outcome into the breaker
+// state: I/O failures extend the streak (tripping at the threshold and
+// re-arming the probe timer while open); any other outcome — success,
+// miss, or a pruned corrupt entry — resets the streak and closes an
+// open breaker (the probe succeeded).
+func (b *Breaker) record(err error) {
+	ioFailure := err != nil && errors.Is(err, ErrIO)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ioFailure {
+		b.consec++
+		if b.open {
+			b.lastProbe = time.Now() // failed probe: wait a full interval again
+		} else if b.consec >= b.threshold {
+			b.open = true
+			b.trips++
+			b.lastProbe = time.Now()
+		}
+		return
+	}
+	b.consec = 0
+	b.open = false
+}
+
+// Degraded reports whether the breaker is currently open.
+func (b *Breaker) Degraded() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+// Trips returns how many times the breaker has tripped open.
+func (b *Breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Stats returns the wrapped tier's counters overlaid with the breaker's
+// view: skipped Gets count as misses (the engine re-simulated them),
+// and Degraded reflects the breaker state.
+func (b *Breaker) Stats() Stats {
+	st := b.inner.Stats()
+	b.mu.Lock()
+	st.Misses += b.skippedGets
+	st.Degraded = b.open
+	b.mu.Unlock()
+	return st
+}

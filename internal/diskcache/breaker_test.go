@@ -1,0 +1,195 @@
+package diskcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sysscale/internal/soc"
+)
+
+// fakeTier is a scriptable Tier: each Get/Put consults the current
+// fail mode and counts how many operations actually reached it.
+type fakeTier struct {
+	mu     sync.Mutex
+	gets   int
+	puts   int
+	getErr error
+	putErr error
+}
+
+func (f *fakeTier) Get(key Key) (soc.Result, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gets++
+	if f.getErr != nil {
+		return soc.Result{}, false, f.getErr
+	}
+	return soc.Result{}, false, nil
+}
+
+func (f *fakeTier) Put(key Key, res soc.Result) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.puts++
+	return f.putErr
+}
+
+func (f *fakeTier) Stats() Stats { return Stats{} }
+
+func (f *fakeTier) fail(err error) {
+	f.mu.Lock()
+	f.getErr, f.putErr = err, err
+	f.mu.Unlock()
+}
+
+func (f *fakeTier) ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gets + f.puts
+}
+
+func ioErr() error { return fmt.Errorf("%w: injected", ErrIO) }
+
+func TestBreakerTripsAndSkips(t *testing.T) {
+	inner := &fakeTier{}
+	b := NewBreaker(inner, 3, time.Hour)
+	inner.fail(ioErr())
+
+	for i := 0; i < 3; i++ {
+		if b.Degraded() {
+			t.Fatalf("breaker open after only %d failures (threshold 3)", i)
+		}
+		b.Get(keyOf(1))
+	}
+	if !b.Degraded() {
+		t.Fatalf("breaker not open after 3 consecutive I/O failures")
+	}
+	if b.Trips() != 1 {
+		t.Errorf("Trips = %d, want 1", b.Trips())
+	}
+
+	// While open (and inside the probe interval) no operation reaches
+	// the tier: Gets answer as misses, Puts drop, zero I/O.
+	before := inner.ops()
+	for i := 0; i < 10; i++ {
+		if _, found, err := b.Get(keyOf(2)); found || err != nil {
+			t.Fatalf("open-breaker Get = (found %v, err %v), want silent miss", found, err)
+		}
+		if err := b.Put(keyOf(2), soc.Result{}); err != nil {
+			t.Fatalf("open-breaker Put err = %v, want nil", err)
+		}
+	}
+	if got := inner.ops(); got != before {
+		t.Errorf("open breaker let %d operations through", got-before)
+	}
+	st := b.Stats()
+	if !st.Degraded {
+		t.Errorf("Stats.Degraded = false on an open breaker")
+	}
+	if st.Misses != 10 {
+		t.Errorf("Stats.Misses = %d, want 10 (skipped Gets count as misses)", st.Misses)
+	}
+}
+
+func TestBreakerProbeClosesOnRecovery(t *testing.T) {
+	inner := &fakeTier{}
+	b := NewBreaker(inner, 2, 10*time.Millisecond)
+	inner.fail(ioErr())
+	b.Get(keyOf(1))
+	b.Get(keyOf(1))
+	if !b.Degraded() {
+		t.Fatalf("breaker did not trip")
+	}
+
+	inner.fail(nil) // tier healed
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Degraded() && time.Now().Before(deadline) {
+		b.Get(keyOf(1)) // admitted as the probe once the interval elapses
+		time.Sleep(time.Millisecond)
+	}
+	if b.Degraded() {
+		t.Fatalf("breaker still open after a successful probe window")
+	}
+	// Closed again: traffic flows.
+	before := inner.ops()
+	b.Get(keyOf(2))
+	b.Put(keyOf(2), soc.Result{})
+	if inner.ops() != before+2 {
+		t.Errorf("closed breaker withheld traffic")
+	}
+}
+
+func TestBreakerFailedProbeStaysOpen(t *testing.T) {
+	inner := &fakeTier{}
+	b := NewBreaker(inner, 2, 5*time.Millisecond)
+	inner.fail(ioErr())
+	b.Get(keyOf(1))
+	b.Get(keyOf(1))
+	if !b.Degraded() {
+		t.Fatalf("breaker did not trip")
+	}
+	time.Sleep(10 * time.Millisecond)
+	b.Get(keyOf(1)) // probe, still failing
+	if !b.Degraded() {
+		t.Fatalf("failed probe closed the breaker")
+	}
+	// The failed probe re-arms the interval: the very next op is skipped.
+	before := inner.ops()
+	b.Get(keyOf(1))
+	if inner.ops() != before {
+		t.Errorf("operation admitted immediately after a failed probe")
+	}
+}
+
+func TestBreakerCorruptionDoesNotTrip(t *testing.T) {
+	inner := &fakeTier{}
+	b := NewBreaker(inner, 2, time.Hour)
+	inner.fail(fmt.Errorf("%w: bad checksum", ErrCorrupt))
+	for i := 0; i < 20; i++ {
+		b.Get(keyOf(1))
+	}
+	if b.Degraded() {
+		t.Fatalf("corrupt entries tripped the breaker (self-healing failures must not count)")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	inner := &fakeTier{}
+	b := NewBreaker(inner, 3, time.Hour)
+	for i := 0; i < 5; i++ {
+		inner.fail(ioErr())
+		b.Get(keyOf(1))
+		b.Get(keyOf(1))
+		inner.fail(nil)
+		b.Get(keyOf(1)) // streak broken at 2 of 3
+	}
+	if b.Degraded() {
+		t.Fatalf("interleaved successes failed to reset the failure streak")
+	}
+}
+
+func TestBreakerPutFailuresCount(t *testing.T) {
+	inner := &fakeTier{}
+	b := NewBreaker(inner, 3, time.Hour)
+	inner.fail(ioErr())
+	b.Put(keyOf(1), soc.Result{})
+	b.Get(keyOf(1))
+	b.Put(keyOf(1), soc.Result{})
+	if !b.Degraded() {
+		t.Fatalf("mixed Get/Put I/O failures did not trip the breaker")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(&fakeTier{}, 0, 0)
+	if b.threshold != DefaultBreakerThreshold || b.probe != DefaultProbeInterval {
+		t.Errorf("NewBreaker(0,0) = threshold %d probe %v, want defaults %d / %v",
+			b.threshold, b.probe, DefaultBreakerThreshold, DefaultProbeInterval)
+	}
+	if errors.Is(ErrIO, ErrCorrupt) {
+		t.Fatalf("error classes must be distinct")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -46,6 +47,33 @@ import (
 // Key is a content-addressed entry key: the engine's canonical config
 // fingerprint.
 type Key = [sha256.Size]byte
+
+// The two failure classes every store error wraps. The distinction
+// drives the circuit breaker (Breaker): corruption is self-healing —
+// the entry is pruned and the same key cannot fail the same way twice —
+// while an I/O failure is environmental (dying disk, revoked mount,
+// ENOSPC) and tends to repeat on every operation, so only ErrIO-classed
+// failures count toward tripping the tier open.
+var (
+	// ErrIO classes operating-system I/O failures: unreadable files,
+	// failed temp writes, failed renames.
+	ErrIO = errors.New("diskcache: I/O failure")
+	// ErrCorrupt classes invalid entries: bad magic, wrong version,
+	// truncation, checksum or decode failure. The entry is pruned.
+	ErrCorrupt = errors.New("diskcache: corrupt entry")
+)
+
+// Tier is the disk-tier interface the engine consumes — implemented by
+// *Store, by *Breaker (which wraps any Tier), and by fault-injection
+// wrappers (internal/faultinject). Get reports a hit via found; err is
+// diagnostic (ErrIO- or ErrCorrupt-classed) and never implies a wrong
+// result — every failure degrades to a miss. Put's error likewise
+// reports a skipped insert, nothing else.
+type Tier interface {
+	Get(key Key) (res soc.Result, found bool, err error)
+	Put(key Key, res soc.Result) error
+	Stats() Stats
+}
 
 // Version is the entry wire-format version. Any change to the header
 // layout or to soc.AppendResult's encoding must bump it; entries
@@ -94,6 +122,10 @@ type Stats struct {
 	// the directory are observed lazily).
 	Bytes   int64
 	Entries int
+	// Degraded reports a tripped circuit breaker: the tier is being
+	// skipped entirely (no I/O issued) until a probe succeeds. Always
+	// false on a bare *Store; set by Breaker.
+	Degraded bool
 }
 
 // Store is an on-disk result store rooted at one directory. It is safe
@@ -160,25 +192,27 @@ func (s *Store) Stats() Stats {
 // Get returns the stored result for key. Absent entries are misses;
 // present-but-invalid entries (truncated, bit-flipped, wrong version,
 // undecodable) are pruned, counted in Errors, and reported as misses —
-// a corrupt cache can cost time, never correctness.
-func (s *Store) Get(key Key) (soc.Result, bool) {
+// a corrupt cache can cost time, never correctness. The returned error
+// is diagnostic only (ErrIO for unreadable files, ErrCorrupt for
+// pruned entries); found is authoritative.
+func (s *Store) Get(key Key) (soc.Result, bool, error) {
 	path := s.path(key)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		s.mu.Lock()
+		s.misses++
 		if os.IsNotExist(err) {
-			s.misses++
-		} else {
-			s.errors++
-			s.misses++
+			s.mu.Unlock()
+			return soc.Result{}, false, nil
 		}
+		s.errors++
 		s.mu.Unlock()
-		return soc.Result{}, false
+		return soc.Result{}, false, fmt.Errorf("%w: %w", ErrIO, err)
 	}
 	res, err := decodeEntry(data)
 	if err != nil {
 		s.prune(path, int64(len(data)))
-		return soc.Result{}, false
+		return soc.Result{}, false, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	s.mu.Lock()
 	s.hits++
@@ -187,14 +221,15 @@ func (s *Store) Get(key Key) (soc.Result, bool) {
 	// LRU; best-effort, a failure only ages the entry.
 	now := time.Now()
 	os.Chtimes(path, now, now)
-	return res, true
+	return res, true, nil
 }
 
 // Put stores res under key, atomically (temp file + rename) and
-// write-behind-safe: a failed write counts an error and leaves the
-// store exactly as it was. Put then reclaims oldest entries if the
-// byte cap is exceeded.
-func (s *Store) Put(key Key, res soc.Result) {
+// write-behind-safe: a failed write counts an error, removes its temp
+// file, and leaves the store exactly as it was. Put then reclaims
+// oldest entries if the byte cap is exceeded. The returned error
+// (ErrIO-classed) reports a skipped insert, nothing else.
+func (s *Store) Put(key Key, res soc.Result) error {
 	payload := soc.AppendResult(make([]byte, 0, 1024), res)
 	sum := sha256.Sum256(payload)
 	buf := make([]byte, 0, headerSize+len(payload))
@@ -214,7 +249,7 @@ func (s *Store) Put(key Key, res soc.Result) {
 		s.mu.Lock()
 		s.errors++
 		s.mu.Unlock()
-		return
+		return fmt.Errorf("%w: %w", ErrIO, err)
 	}
 	s.mu.Lock()
 	s.bytes += int64(len(buf))
@@ -225,35 +260,47 @@ func (s *Store) Put(key Key, res soc.Result) {
 	}
 	s.mu.Unlock()
 	s.evict()
+	return nil
 }
+
+// osRename is the rename syscall behind the atomic commit, a variable
+// so tests can inject a failing rename and prove the temp file is
+// removed on that path too.
+var osRename = os.Rename
 
 // writeAtomic writes data to path via a synced temp file in dir and an
 // atomic rename, so concurrent readers (any process) see either the
-// old entry, no entry, or the complete new entry.
-func writeAtomic(dir, path string, data []byte) error {
+// old entry, no entry, or the complete new entry. The temp file is
+// removed on every failure path — the deferred cleanup is structural,
+// not per-branch, so no future error return can leak one (the Open
+// stale-temp sweep remains a crash backstop only).
+func writeAtomic(dir, path string, data []byte) (err error) {
 	f, err := os.CreateTemp(dir, tmpPrefix+"*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
+	committed := false
+	defer func() {
+		if !committed {
+			os.Remove(tmp)
+		}
+	}()
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := osRename(tmp, path); err != nil {
 		return err
 	}
+	committed = true
 	return nil
 }
 
@@ -330,8 +377,14 @@ func (s *Store) evict() {
 	s.mu.Unlock()
 }
 
-func (s *Store) path(key Key) string {
-	return filepath.Join(s.dir, hex.EncodeToString(key[:])+entrySuffix)
+func (s *Store) path(key Key) string { return EntryPath(s.dir, key) }
+
+// EntryPath returns the entry file a key maps to under dir — the
+// store's on-disk naming contract, exported so fault-injection
+// harnesses can corrupt specific entries (torn-write simulation)
+// without reimplementing the layout.
+func EntryPath(dir string, key Key) string {
+	return filepath.Join(dir, hex.EncodeToString(key[:])+entrySuffix)
 }
 
 // isEntryName reports whether name is a complete entry file:

@@ -3,6 +3,7 @@ package diskcache
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -58,14 +59,14 @@ func TestPutGetRoundTrip(t *testing.T) {
 	s := mustOpen(t, t.TempDir())
 	want := testResult("470.lbm")
 	s.Put(keyOf(1), want)
-	got, ok := s.Get(keyOf(1))
+	got, ok, _ := s.Get(keyOf(1))
 	if !ok {
 		t.Fatalf("Get missed a just-put entry")
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("disk round trip changed the result:\n got %+v\nwant %+v", got, want)
 	}
-	if _, ok := s.Get(keyOf(2)); ok {
+	if _, ok, _ := s.Get(keyOf(2)); ok {
 		t.Errorf("Get hit an absent key")
 	}
 	st := s.Stats()
@@ -84,7 +85,7 @@ func TestStoreSurvivesReopen(t *testing.T) {
 	mustOpen(t, dir).Put(keyOf(9), want)
 
 	fresh := mustOpen(t, dir)
-	got, ok := fresh.Get(keyOf(9))
+	got, ok, _ := fresh.Get(keyOf(9))
 	if !ok {
 		t.Fatalf("fresh store missed the persisted entry")
 	}
@@ -141,7 +142,7 @@ func TestCorruptionTorture(t *testing.T) {
 			}
 
 			before := s.Stats()
-			if _, ok := s.Get(keyOf(3)); ok {
+			if _, ok, _ := s.Get(keyOf(3)); ok {
 				t.Fatalf("corrupt entry served as a hit")
 			}
 			after := s.Stats()
@@ -156,7 +157,7 @@ func TestCorruptionTorture(t *testing.T) {
 			}
 			// The slot is usable again: a rewrite serves hits.
 			s.Put(keyOf(3), testResult("433.milc"))
-			if _, ok := s.Get(keyOf(3)); !ok {
+			if _, ok, _ := s.Get(keyOf(3)); !ok {
 				t.Errorf("rewrite after prune missed")
 			}
 		})
@@ -203,12 +204,12 @@ func TestEvictionOldestFirst(t *testing.T) {
 	s.Put(keyOf(6), testResult("a")) // now as mtime: newest; triggers eviction
 
 	for i := byte(1); i <= 3; i++ {
-		if _, ok := s.Get(keyOf(i)); ok {
+		if _, ok, _ := s.Get(keyOf(i)); ok {
 			t.Errorf("oldest entry %d survived eviction", i)
 		}
 	}
 	for i := byte(4); i <= 6; i++ {
-		if _, ok := s.Get(keyOf(i)); !ok {
+		if _, ok, _ := s.Get(keyOf(i)); !ok {
 			t.Errorf("newest entry %d was evicted", i)
 		}
 	}
@@ -249,6 +250,40 @@ func TestOpenIgnoresForeignFiles(t *testing.T) {
 	}
 }
 
+// TestPutFailedRenameRemovesTemp: a failing rename (the last step of
+// the atomic commit) must count an error, leave no entry, and remove
+// its temp file — Put cleans up every error path itself rather than
+// relying on the stale-temp sweep at the next Open.
+func TestPutFailedRenameRemovesTemp(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	osRename = func(string, string) error { return errors.New("injected rename failure") }
+	defer func() { osRename = os.Rename }()
+
+	err := s.Put(keyOf(7), testResult("456.hmmer"))
+	if !errors.Is(err, ErrIO) {
+		t.Fatalf("Put error = %v, want ErrIO-classed", err)
+	}
+	if st := s.Stats(); st.Errors != 1 || st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("stats after failed Put = %+v, want 1 error, 0 entries, 0 bytes", st)
+	}
+	ents, readErr := os.ReadDir(dir)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	for _, e := range ents {
+		t.Errorf("failed Put left %q behind", e.Name())
+	}
+
+	osRename = os.Rename
+	if err := s.Put(keyOf(7), testResult("456.hmmer")); err != nil {
+		t.Fatalf("Put after rename recovery: %v", err)
+	}
+	if _, ok, _ := s.Get(keyOf(7)); !ok {
+		t.Errorf("store unusable after a failed rename")
+	}
+}
+
 func TestConcurrentPutGet(t *testing.T) {
 	s := mustOpen(t, t.TempDir())
 	done := make(chan struct{})
@@ -270,7 +305,7 @@ func TestConcurrentPutGet(t *testing.T) {
 	}
 	// All entries readable and intact afterwards.
 	for i := byte(0); i < 8; i++ {
-		if res, ok := s.Get(keyOf(i)); ok && !reflect.DeepEqual(res, testResult("a")) {
+		if res, ok, _ := s.Get(keyOf(i)); ok && !reflect.DeepEqual(res, testResult("a")) {
 			t.Errorf("concurrent traffic corrupted entry %d", i)
 		}
 	}

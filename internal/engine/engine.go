@@ -33,8 +33,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sysscale/internal/diskcache"
 	"sysscale/internal/soc"
@@ -44,6 +46,12 @@ import (
 // Job is one unit of batch work: a fully-specified simulation run.
 type Job struct {
 	Config soc.Config
+	// Timeout, when positive, bounds this job's simulation wall time,
+	// overriding the engine-wide WithJobTimeout. A job that exceeds it
+	// fails with an ErrJobTimeout-classed *JobError (never confused
+	// with batch-cancellation collateral). Jobs coalesced onto an
+	// identical in-batch sibling run under the first sibling's timeout.
+	Timeout time.Duration
 }
 
 // FromSpec builds a Job from a serialized job spec, resolving the
@@ -97,6 +105,39 @@ func (e *JobError) Error() string {
 // Unwrap supports errors.Is/As.
 func (e *JobError) Unwrap() error { return e.Err }
 
+// ErrJobTimeout classes a job that exceeded its own deadline
+// (WithJobTimeout or Job.Timeout). It is deliberately a plain sentinel
+// — NOT context.DeadlineExceeded — so the batch paths' cancellation-
+// collateral filters can never mistake a job's own timeout for the
+// batch being cancelled: a timed-out job is a genuine, reported
+// failure. Test with errors.Is(err, ErrJobTimeout).
+var ErrJobTimeout = errors.New("engine: job deadline exceeded")
+
+// ErrDiskDegraded reports the disk tier's circuit breaker standing
+// open: the tier is being skipped (no I/O issued) until a probe
+// succeeds. Surfaced by DiskCacheError while degraded.
+var ErrDiskDegraded = errors.New("engine: disk cache degraded (circuit breaker open)")
+
+// PanicError is a worker panic captured by the engine's panic
+// isolation: the policy (or simulator) panicked mid-run, the panic was
+// recovered on the worker, the possibly-corrupt platform was discarded
+// instead of pooled, and the panic reads as this error on the job that
+// caused it — the batch, the process, and every other job survive.
+// Retrieve it with errors.As; it is never retried (a panicking policy
+// is a bug, not weather).
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery
+	// (runtime/debug.Stack).
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("engine: worker panic: %v", p.Value)
+}
+
 // Option configures an Engine.
 type Option func(*Engine)
 
@@ -143,6 +184,75 @@ func WithCacheSize(n int) Option {
 // check it and fail loudly.
 func WithDiskCache(dir string) Option {
 	return func(e *Engine) { e.diskDir = dir }
+}
+
+// WithDiskTier installs tier directly as the persistent result tier,
+// bypassing WithDiskCache's store construction. It exists for fault
+// injection (internal/faultinject wraps a real store with a
+// deterministic fault plan) and for tests that need a scripted tier;
+// production callers want WithDiskCache. The tier is still wrapped by
+// the circuit breaker unless WithDiskBreaker disables it.
+func WithDiskTier(tier diskcache.Tier) Option {
+	return func(e *Engine) { e.diskTier = tier }
+}
+
+// WithDiskBreaker configures the disk tier's circuit breaker, which is
+// on by default (diskcache.DefaultBreakerThreshold consecutive I/O
+// failures trip the tier open; diskcache.DefaultProbeInterval between
+// heal probes). threshold == 0 disables the breaker entirely — every
+// job then pays the tier's I/O errors individually, which is what
+// exact-accounting fault-injection tests want. threshold < 0 or
+// probe <= 0 select the defaults for that parameter.
+func WithDiskBreaker(threshold int, probe time.Duration) Option {
+	return func(e *Engine) {
+		e.breakerThreshold = threshold
+		e.breakerProbe = probe
+	}
+}
+
+// WithJobTimeout bounds every job's simulation wall time (overridable
+// per job via Job.Timeout; d <= 0 means no engine-wide bound, the
+// default). A job over its deadline unwinds within one policy epoch,
+// returns its pooled platform, and fails with an ErrJobTimeout-classed
+// *JobError — a genuine per-job failure, distinct from batch
+// cancellation (fail-fast RunBatch reports it; Stream delivers it;
+// RunBatchPartial records it).
+func WithJobTimeout(d time.Duration) Option {
+	return func(e *Engine) { e.jobTimeout = d }
+}
+
+// WithRetry re-runs a failed job up to n extra attempts with
+// exponential backoff starting at backoff (doubling per attempt;
+// backoff <= 0 retries immediately). Only transient-classed failures
+// are retried: errors exposing Transient() bool true (the injected
+// I/O taxonomy), plus timeouts when WithRetryTimeouts opts in.
+// Configuration errors, panics, cancellation, and timeouts (by
+// default) are never retried — deterministic failures would only fail
+// identically n more times. Retries are counted in Stats.Retries.
+func WithRetry(n int, backoff time.Duration) Option {
+	return func(e *Engine) {
+		e.retries = n
+		e.backoff = backoff
+	}
+}
+
+// WithRetryTimeouts opts ErrJobTimeout failures into retry
+// classification (off by default: the simulator is deterministic, so a
+// timeout usually recurs — opt in when timeouts come from environmental
+// load, e.g. a shared CI host).
+func WithRetryTimeouts(enabled bool) Option {
+	return func(e *Engine) { e.retryTimeouts = enabled }
+}
+
+// TransientError is the classification interface the retry layer
+// consults: a failure whose Transient() reports true (reached via
+// errors.As, so wrapping preserves it) is eligible for WithRetry
+// re-runs. The PR 5 error taxonomy stays authoritative for everything
+// else — config errors, panics, cancellation and timeouts have fixed,
+// non-retryable classes.
+type TransientError interface {
+	error
+	Transient() bool
 }
 
 // Uncacheable is an optional interface a policy implements to opt out
@@ -193,6 +303,17 @@ type Stats struct {
 	DiskMisses int
 	DiskErrors int
 	DiskBytes  int64
+	// DiskDegraded reports the disk tier's circuit breaker standing
+	// open: consecutive I/O failures tripped the tier, jobs are
+	// skipping it entirely (skipped lookups count as DiskMisses), and
+	// it stays skipped until a probe succeeds. See WithDiskBreaker.
+	DiskDegraded bool
+
+	// Retries counts extra attempts spent re-running transient-classed
+	// failures (WithRetry); Panics counts worker panics recovered into
+	// PanicError by the engine's panic isolation.
+	Retries int
+	Panics  int
 }
 
 // cacheKey is a config fingerprint (fingerprint.go): a sha256 digest,
@@ -220,12 +341,25 @@ type Engine struct {
 	spans *soc.SpanCache
 
 	// disk is the persistent second result tier (nil without
-	// WithDiskCache): consulted under the in-memory LRU on a miss,
-	// written through on every cacheable simulation. diskErr records a
-	// failed store open; the engine then runs without the tier.
-	disk    *diskcache.Store
-	diskDir string
-	diskErr error
+	// WithDiskCache/WithDiskTier): consulted under the in-memory LRU on
+	// a miss, written through on every cacheable simulation, and
+	// normally wrapped by the circuit breaker (breaker non-nil) so a
+	// dying disk degrades the tier instead of grinding an error into
+	// every job. diskErr records a failed store open; the engine then
+	// runs without the tier.
+	disk     diskcache.Tier
+	breaker  *diskcache.Breaker
+	diskTier diskcache.Tier
+	diskDir  string
+	diskErr  error
+
+	breakerThreshold int
+	breakerProbe     time.Duration
+
+	jobTimeout    time.Duration
+	retries       int
+	backoff       time.Duration
+	retryTimeouts bool
 
 	mu sync.Mutex
 	// cache + order form the size-capped LRU over results: cache maps
@@ -238,7 +372,7 @@ type Engine struct {
 
 // New returns an engine with the given options applied.
 func New(opts ...Option) *Engine {
-	e := &Engine{cacheOn: true}
+	e := &Engine{cacheOn: true, breakerThreshold: -1, breakerProbe: -1}
 	for _, o := range opts {
 		o(e)
 	}
@@ -248,18 +382,43 @@ func New(opts ...Option) *Engine {
 	e.cache = make(map[cacheKey]*list.Element)
 	e.order = list.New()
 	e.spans = soc.NewSpanCache(0)
-	if e.diskDir != "" {
-		e.disk, e.diskErr = diskcache.Open(e.diskDir)
+
+	tier := e.diskTier
+	if tier == nil && e.diskDir != "" {
+		store, err := diskcache.Open(e.diskDir)
+		if err != nil {
+			e.diskErr = err
+		} else {
+			tier = store
+		}
 	}
+	if tier != nil && e.breakerThreshold != 0 {
+		// Breaker on by default (threshold -1 = "unset" selects the
+		// diskcache defaults); WithDiskBreaker(0, _) runs the tier bare.
+		e.breaker = diskcache.NewBreaker(tier, e.breakerThreshold, e.breakerProbe)
+		tier = e.breaker
+	}
+	e.disk = tier
 	return e
 }
 
-// DiskCacheError reports whether WithDiskCache failed to open its
-// store (nil otherwise, including when no disk tier was requested).
-// The engine stays fully functional without the tier; callers wiring a
+// DiskCacheError reports the disk tier's health: non-nil when
+// WithDiskCache failed to open its store, or when the tier's circuit
+// breaker is currently open (errors.Is(err, ErrDiskDegraded)) because
+// consecutive I/O failures tripped it. Nil otherwise, including when no
+// disk tier was requested. The engine stays fully functional in every
+// case — results come from memory and simulation — but callers wiring a
 // user-supplied cache directory should surface this loudly instead of
 // letting every run silently re-simulate.
-func (e *Engine) DiskCacheError() error { return e.diskErr }
+func (e *Engine) DiskCacheError() error {
+	if e.diskErr != nil {
+		return e.diskErr
+	}
+	if e.breaker != nil && e.breaker.Degraded() {
+		return fmt.Errorf("%w after %d trip(s)", ErrDiskDegraded, e.breaker.Trips())
+	}
+	return nil
+}
 
 // cacheGet looks key up in the LRU, refreshing its recency on a hit.
 // Callers hold e.mu.
@@ -315,6 +474,7 @@ func (e *Engine) CacheStats() Stats {
 		s.DiskMisses = ds.Misses
 		s.DiskErrors = ds.Errors
 		s.DiskBytes = ds.Bytes
+		s.DiskDegraded = ds.Degraded
 	}
 	return s
 }
@@ -481,8 +641,46 @@ func (e *Engine) Stream(ctx context.Context, jobs []Job) <-chan JobResult {
 	return out
 }
 
-// runJobs is the shared streaming core behind Stream and
-// RunBatchContext: resolve cache hits, coalesce in-batch duplicates,
+// RunBatchPartial executes the jobs with bounded parallelism and
+// returns one JobResult per job, in input order, never failing the
+// batch: each job independently carries its Result or its *JobError.
+// This is the sweep-service shape — one bad job (invalid config,
+// panic, timeout) must not void a 10k-job sweep — where RunBatch's
+// fail-fast contract is for callers who treat any failure as fatal.
+//
+// Cancellation still stops the batch: jobs overtaken by ctx — never
+// started, or unwound in flight — report ctx's error (cancellation
+// collateral, identifiable with errors.Is(err, context.Canceled) /
+// context.DeadlineExceeded), while jobs that genuinely failed keep
+// their own errors. The slice always has len(jobs) entries.
+func (e *Engine) RunBatchPartial(ctx context.Context, jobs []Job) []JobResult {
+	out := make([]JobResult, len(jobs))
+	delivered := make([]bool, len(jobs))
+	// Each index is delivered (and therefore written) by exactly one
+	// goroutine, so the direct writes need no lock; runJobs returning
+	// is the happens-before edge that publishes them.
+	e.runJobs(ctx, jobs, func(jr JobResult) bool {
+		out[jr.Index] = jr
+		delivered[jr.Index] = true
+		return true
+	})
+	for i := range out {
+		if !delivered[i] {
+			// Never delivered: the batch was cancelled before this job
+			// completed. Report the collateral explicitly.
+			err := ctx.Err()
+			if err == nil {
+				err = context.Canceled
+			}
+			out[i] = JobResult{Err: &JobError{Index: i, Config: jobs[i].Config, Err: err}}
+		}
+		out[i].Index = i
+	}
+	return out
+}
+
+// runJobs is the shared streaming core behind Stream, RunBatchContext
+// and RunBatchPartial: resolve cache hits, coalesce in-batch duplicates,
 // fan the remaining tasks out over the worker pool, and hand every
 // job's JobResult to deliver as it completes. deliver is called
 // concurrently from the workers (and from the resolve loop for cache
@@ -539,7 +737,10 @@ func (e *Engine) runJobs(ctx context.Context, jobs []Job, deliver func(JobResult
 		// rest of the sweep pays memory prices; it counts as DiskHits,
 		// not Hits (the tiers are reported separately).
 		if e.disk != nil {
-			if r, ok := e.disk.Get(key); ok {
+			// The error is diagnostic only (the tier counts it, and the
+			// breaker watches it); found is authoritative and every
+			// failure degrades to a miss here.
+			if r, ok, _ := e.disk.Get(key); ok {
 				e.mu.Lock()
 				e.cachePut(key, r)
 				e.mu.Unlock()
@@ -600,27 +801,27 @@ var runnerPool = sync.Pool{New: func() any { return soc.NewRunner() }}
 
 // runnersInFlight gauges Runners currently checked out of runnerPool.
 // It must read zero whenever no simulation is executing — the tests
-// use it to prove cancellation never leaks a pooled Runner.
+// use it to prove neither cancellation nor a worker panic can leak a
+// pooled Runner.
 var runnersInFlight atomic.Int64
 
-// execute runs one task and delivers its result (or error) to every
-// awaiting input index.
+// RunnersInFlight reports how many pooled Runners are currently checked
+// out for executing simulations, process-wide. It is the engine's leak
+// gauge: it must read zero whenever no batch is executing, whatever
+// mix of completions, cancellations, timeouts, and panics preceded —
+// the fault-injection torture tests assert exactly that.
+func RunnersInFlight() int64 { return runnersInFlight.Load() }
+
+// execute runs one task — through the retry layer — and delivers its
+// result (or error) to every awaiting input index.
 func (e *Engine) execute(ctx context.Context, jobs []Job, t *task, deliver func(JobResult) bool) {
 	idx := t.indices[0]
-	cfg := jobs[idx].Config
-	cfg.Policy = cfg.Policy.Clone()
-	runner := runnerPool.Get().(*soc.Runner)
-	// The pool is shared across Engine instances, so the span cache must
-	// be (re-)attached on every checkout — a Runner last driven by a
-	// different engine carries that engine's cache.
-	runner.SetSpanCache(e.spans)
-	runnersInFlight.Add(1)
-	res, err := runner.RunContext(ctx, cfg)
-	runnersInFlight.Add(-1)
-	runnerPool.Put(runner)
+	res, err := e.runJob(ctx, jobs[idx])
 	if err != nil {
 		for _, i := range t.indices {
-			deliver(JobResult{Index: i, Err: &JobError{Index: i, Config: jobs[i].Config, Err: err}})
+			if !deliver(JobResult{Index: i, Err: &JobError{Index: i, Config: jobs[i].Config, Err: err}}) {
+				return
+			}
 		}
 		return
 	}
@@ -632,7 +833,8 @@ func (e *Engine) execute(ctx context.Context, jobs []Job, t *task, deliver func(
 	e.mu.Unlock()
 	if t.cacheable && e.disk != nil {
 		// Write-through to the persistent tier (atomic on disk; a
-		// failed write counts a DiskError and costs nothing else).
+		// failed write counts a DiskError, feeds the breaker, and costs
+		// nothing else).
 		e.disk.Put(t.key, res)
 	}
 	for _, i := range t.indices {
@@ -640,6 +842,110 @@ func (e *Engine) execute(ctx context.Context, jobs []Job, t *task, deliver func(
 			return
 		}
 	}
+}
+
+// runJob is the retry layer over runOnce: transient-classed failures
+// (see WithRetry) are re-attempted with exponential backoff; every
+// other failure — and every failure once attempts are exhausted —
+// propagates unchanged.
+func (e *Engine) runJob(ctx context.Context, job Job) (soc.Result, error) {
+	backoff := e.backoff
+	for attempt := 0; ; attempt++ {
+		res, err := e.runOnce(ctx, job)
+		if err == nil {
+			return res, nil
+		}
+		if attempt >= e.retries || !e.retryable(err) || ctx.Err() != nil {
+			return soc.Result{}, err
+		}
+		e.mu.Lock()
+		e.stats.Retries++
+		e.mu.Unlock()
+		if backoff > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return soc.Result{}, err
+			}
+			backoff *= 2
+		}
+	}
+}
+
+// retryable classifies one failure for the retry layer: cancellation,
+// panics, and configuration errors are never retried; timeouts only
+// when WithRetryTimeouts opted in; everything else only when it exposes
+// Transient() bool true (TransientError).
+func (e *Engine) retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrJobTimeout) {
+		return e.retryTimeouts
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return false
+	}
+	if errors.Is(err, soc.ErrInvalidConfig) {
+		return false
+	}
+	var te TransientError
+	return errors.As(err, &te) && te.Transient()
+}
+
+// runOnce executes one simulation attempt under the job's deadline with
+// full panic isolation. The single deferred block owns the Runner's
+// whole lifecycle — gauge decrement, pool return, panic recovery — so
+// no return path, early or panicking, can leak a checked-out Runner or
+// leave the gauge skewed. A recovered panic discards the Runner (its
+// platform may be mid-epoch, mid-mutation — Reset guarantees hold for
+// runs that unwound through RunContext, not for arbitrary interrupt
+// points) and surfaces as *PanicError; a soc.RunAbort panic is the
+// policy-layer error escape hatch and surfaces as its carried error.
+func (e *Engine) runOnce(ctx context.Context, job Job) (res soc.Result, err error) {
+	cfg := job.Config
+	cfg.Policy = cfg.Policy.Clone()
+	timeout := job.Timeout
+	if timeout <= 0 {
+		timeout = e.jobTimeout
+	}
+	if timeout > 0 {
+		// The cause brands the deadline as this job's own: soc returns
+		// context.Cause at its per-epoch check, so the job fails with
+		// ErrJobTimeout while batch cancellation still reads as
+		// context.Canceled collateral.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, timeout, ErrJobTimeout)
+		defer cancel()
+	}
+
+	runner := runnerPool.Get().(*soc.Runner)
+	// The pool is shared across Engine instances, so the span cache must
+	// be (re-)attached on every checkout — a Runner last driven by a
+	// different engine carries that engine's cache.
+	runner.SetSpanCache(e.spans)
+	runnersInFlight.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			// The panic unwound the simulation at an arbitrary point;
+			// the platform state is suspect, so the Runner is discarded
+			// — the pool assembles a replacement on demand.
+			res = soc.Result{}
+			if abort, ok := r.(soc.RunAbort); ok {
+				err = abort.Err
+			} else {
+				err = &PanicError{Value: r, Stack: debug.Stack()}
+				e.mu.Lock()
+				e.stats.Panics++
+				e.mu.Unlock()
+			}
+		} else {
+			runnerPool.Put(runner)
+		}
+		runnersInFlight.Add(-1)
+	}()
+	return runner.RunContext(ctx, cfg)
 }
 
 // cloneResult deep-copies the result's slice fields so cached entries

@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"sysscale/internal/engine"
 	"sysscale/internal/sim"
@@ -42,17 +43,35 @@ var (
 	engMu       sync.Mutex
 	parallelism int
 	diskDir     string
+	jobTimeout  time.Duration
+	retries     int
 	shared      = engine.New()
 )
 
 // rebuild replaces the shared engine with one reflecting the current
 // knobs. Callers hold engMu.
 func rebuild() {
-	opts := []engine.Option{engine.WithParallelism(parallelism)}
+	opts := []engine.Option{
+		engine.WithParallelism(parallelism),
+		engine.WithJobTimeout(jobTimeout),
+		engine.WithRetry(retries, 100*time.Millisecond),
+	}
 	if diskDir != "" {
 		opts = append(opts, engine.WithDiskCache(diskDir))
 	}
 	shared = engine.New(opts...)
+}
+
+// SetHardening rebuilds the shared engine with the fault-tolerance
+// knobs: a per-job wall-time budget (0 = unbounded) and extra attempts
+// for transient-classed failures. See engine.WithJobTimeout and
+// engine.WithRetry for the exact contracts.
+func SetHardening(timeout time.Duration, extraAttempts int) {
+	engMu.Lock()
+	defer engMu.Unlock()
+	jobTimeout = timeout
+	retries = extraAttempts
+	rebuild()
 }
 
 // SetParallelism rebuilds the shared experiment engine with at most n

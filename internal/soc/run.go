@@ -26,7 +26,9 @@ func Run(cfg Config) (Result, error) {
 // RunContext is Run with cancellation: the simulation checks ctx at
 // every policy-evaluation boundary (spans never cross an epoch, so the
 // check also bounds the span-batched core) and unwinds within one
-// policy epoch of wall-progress once ctx is done, returning ctx.Err().
+// policy epoch of wall-progress once ctx is done, returning the
+// context's cancel cause (context.Cause) — ctx.Err() when no distinct
+// cause was set.
 // The platform state is left consistent — a cancelled pooled platform
 // resets bit-identically for its next run.
 func RunContext(ctx context.Context, cfg Config) (Result, error) {
@@ -146,8 +148,14 @@ func (p *Platform) run(ctx context.Context) (Result, error) {
 		if i%evalEvery == 0 {
 			// Cancellation is observed here, once per policy epoch: a
 			// cancelled run unwinds within one epoch of wall-progress and
-			// costs the hot loop nothing between decisions.
+			// costs the hot loop nothing between decisions. The cancel
+			// cause is surfaced when one was set (context.WithTimeoutCause
+			// is how the engine brands per-job deadlines), so callers can
+			// tell a job's own timeout from batch-cancellation collateral.
 			if err := ctx.Err(); err != nil {
+				if cause := context.Cause(ctx); cause != nil {
+					err = cause
+				}
 				return Result{}, err
 			}
 			now := p.clock.Now()
@@ -160,12 +168,12 @@ func (p *Platform) run(ctx context.Context) (Result, error) {
 				ioMemAvg = power.Watt(ioMemPowerInterval / float64(intervalTicks))
 			}
 			ctx := PolicyContext{
-				Now:           now,
-				Interval:      cfg.EvalInterval,
-				Counters:      avg,
-				CSR:           p.ioeng.CSR(),
-				Current:       p.current,
-				Ladder:        cfg.Ladder,
+				Now:      now,
+				Interval: cfg.EvalInterval,
+				Counters: avg,
+				CSR:      p.ioeng.CSR(),
+				Current:  p.current,
+				Ladder:   cfg.Ladder,
 				// The worst-case tables go in as the method values bound
 				// once at assembly: binding them here would allocate two
 				// closures per policy epoch (they were the pooled run

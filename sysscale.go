@@ -74,6 +74,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"io"
+	"time"
 
 	"sysscale/internal/core"
 	"sysscale/internal/dram"
@@ -234,6 +235,39 @@ func WithCacheSize(n int) EngineOption { return engine.WithCacheSize(n) }
 // NewEngine when the directory comes from user input.
 func WithDiskCache(dir string) EngineOption { return engine.WithDiskCache(dir) }
 
+// WithJobTimeout bounds every job's simulation wall time (overridable
+// per job via Job.Timeout). A job over its deadline unwinds within one
+// policy epoch and fails with an ErrJobTimeout-classed *JobError — a
+// genuine per-job failure, never confused with batch cancellation.
+func WithJobTimeout(d time.Duration) EngineOption { return engine.WithJobTimeout(d) }
+
+// WithRetry re-runs transient-classed job failures up to n extra
+// attempts with exponential backoff starting at backoff. Config
+// errors, panics, cancellation, and (by default) timeouts are never
+// retried; WithRetryTimeouts opts timeouts in.
+func WithRetry(n int, backoff time.Duration) EngineOption { return engine.WithRetry(n, backoff) }
+
+// WithRetryTimeouts opts ErrJobTimeout failures into WithRetry's
+// classification (off by default: the simulator is deterministic, so a
+// timeout usually recurs unless it came from environmental load).
+func WithRetryTimeouts(enabled bool) EngineOption { return engine.WithRetryTimeouts(enabled) }
+
+// PanicError is a worker panic captured by the engine's panic
+// isolation: the job that panicked fails with this error (wrapped in
+// its *JobError) while the batch, the process, and every other job
+// survive. Retrieve with errors.As.
+type PanicError = engine.PanicError
+
+// ErrJobTimeout classes a job that exceeded its own deadline
+// (WithJobTimeout / Job.Timeout); test with errors.Is.
+var ErrJobTimeout = engine.ErrJobTimeout
+
+// ErrDiskDegraded reports the disk tier's circuit breaker standing
+// open (consecutive I/O failures tripped it; the tier is skipped until
+// a probe succeeds). Returned by Engine.DiskCacheError while degraded
+// and reflected by EngineStats.DiskDegraded.
+var ErrDiskDegraded = engine.ErrDiskDegraded
+
 // DefaultCacheSize is the result cache's default entry bound.
 const DefaultCacheSize = engine.DefaultCacheSize
 
@@ -294,6 +328,17 @@ func RunBatchContext(ctx context.Context, cfgs []Config) ([]Result, error) {
 // microbenchmark workload.)
 func StreamBatch(ctx context.Context, cfgs []Config) <-chan JobResult {
 	return defaultEngine.Stream(ctx, jobsFor(cfgs))
+}
+
+// RunBatchPartial simulates the configurations through the default
+// engine and returns one JobResult per config, in input order, never
+// failing the batch: each entry independently carries its Result or
+// its *JobError (invalid config, panic, timeout). This is the sweep-
+// service shape — one bad job must not void the sweep — where
+// RunBatch's fail-fast contract is for callers who treat any failure
+// as fatal.
+func RunBatchPartial(ctx context.Context, cfgs []Config) []JobResult {
+	return defaultEngine.RunBatchPartial(ctx, jobsFor(cfgs))
 }
 
 func jobsFor(cfgs []Config) []Job {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"sysscale"
 )
@@ -374,5 +375,75 @@ func TestDiskCacheThroughPublicAPI(t *testing.T) {
 	st := second.CacheStats()
 	if st.DiskHits != 1 || st.Misses != 0 {
 		t.Errorf("second engine stats = %+v, want 1 disk hit, 0 simulations", st)
+	}
+}
+
+// TestRobustnessThroughPublicAPI: the fault-hardening surface —
+// RunBatchPartial keeps good results when a sibling job fails,
+// WithJobTimeout turns an over-budget run into an ErrJobTimeout-classed
+// *JobError (distinct from cancellation collateral), and the exported
+// error types are the ones the engine actually produces.
+func TestRobustnessThroughPublicAPI(t *testing.T) {
+	w, err := sysscale.SPEC("416.gamess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := sysscale.DefaultConfig()
+	good.Workload = w
+	good.Policy = sysscale.NewSysScale()
+	good.Duration = 300 * sysscale.Millisecond
+
+	bad := good
+	bad.Duration = -1
+
+	// RunBatchPartial returns every job: index 1 fails with a typed
+	// *JobError wrapping ErrInvalidConfig, indexes 0 and 2 succeed and
+	// match a clean run bit for bit.
+	want, err := sysscale.Run(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sysscale.RunBatchPartial(context.Background(), []sysscale.Config{good, bad, good})
+	if len(out) != 3 {
+		t.Fatalf("RunBatchPartial returned %d results, want 3", len(out))
+	}
+	for _, i := range []int{0, 2} {
+		if out[i].Err != nil || !reflect.DeepEqual(out[i].Result, want) {
+			t.Fatalf("job %d = (%v, err %v), want the clean result", i, out[i].Result, out[i].Err)
+		}
+	}
+	var je *sysscale.JobError
+	if !errors.As(out[1].Err, &je) || je.Index != 1 || !errors.Is(out[1].Err, sysscale.ErrInvalidConfig) {
+		t.Fatalf("bad job error = %v, want *JobError{Index: 1} wrapping ErrInvalidConfig", out[1].Err)
+	}
+
+	// A per-job deadline too small for any simulation fails with
+	// ErrJobTimeout — and never masquerades as context cancellation, so
+	// batch collateral filters cannot swallow it.
+	hard := sysscale.NewEngine(sysscale.WithJobTimeout(time.Nanosecond))
+	if _, err := hard.Run(good); !errors.Is(err, sysscale.ErrJobTimeout) {
+		t.Fatalf("nanosecond-budget run returned %v, want ErrJobTimeout", err)
+	} else if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		t.Fatalf("ErrJobTimeout %v must not match the context sentinels", err)
+	}
+
+	// A generous deadline plus retries leaves a healthy run untouched.
+	soft := sysscale.NewEngine(
+		sysscale.WithJobTimeout(time.Minute),
+		sysscale.WithRetry(2, 0),
+		sysscale.WithRetryTimeouts(true),
+	)
+	got, err := soft.Run(good)
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("hardened engine diverged from clean run (err %v)", err)
+	}
+
+	// The exported robustness types are usable as advertised.
+	var pe *sysscale.PanicError
+	if errors.As(out[1].Err, &pe) {
+		t.Fatalf("config error misclassified as PanicError: %v", pe)
+	}
+	if sysscale.ErrDiskDegraded.Error() == "" {
+		t.Fatal("ErrDiskDegraded has no message")
 	}
 }
