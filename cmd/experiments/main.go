@@ -46,19 +46,19 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
-	"syscall"
 	"time"
 
 	"sysscale"
+	"sysscale/internal/cliutil"
 	"sysscale/internal/experiments"
 )
 
@@ -79,6 +79,7 @@ func run() int {
 	retries := flag.Int("retries", 0, "extra attempts for transient-classed job failures (I/O faults; not config errors)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	statsOut := flag.Bool("stats-json", false, "print one machine-readable \"stats: {...}\" engine-counter line after the run")
 	flag.Parse()
 	if *parallel != 0 {
 		experiments.SetParallelism(*parallel)
@@ -125,15 +126,12 @@ func run() int {
 
 	// Ctrl-C cancels the run context: in-flight sweeps unwind within
 	// one policy epoch, pooled platforms are returned, and the command
-	// exits after reporting the cancellation. The AfterFunc unregisters
-	// the handler as soon as the context fires, so a second Ctrl-C
-	// kills the process the usual way even if a sweep fails to unwind.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// exits after reporting the cancellation.
+	ctx, stop := cliutil.InterruptContext(context.Background())
 	defer stop()
-	context.AfterFunc(ctx, stop)
 
 	if *specsDir != "" {
-		return runSpecs(ctx, *specsDir, *parallel, *cacheDir, *jobTO, *retries)
+		return runSpecs(ctx, *specsDir, *parallel, *cacheDir, *jobTO, *retries, *statsOut)
 	}
 
 	mcFn := func(ctx context.Context) (fmt.Stringer, error) {
@@ -208,7 +206,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintln(os.Stderr, "interrupted: partial sweeps discarded")
-				return 130
+				return cliutil.ExitInterrupt
 			}
 			return 1
 		}
@@ -217,7 +215,22 @@ func run() int {
 	if *cacheDir != "" {
 		printCacheStats(experiments.Engine().CacheStats())
 	}
+	if *statsOut {
+		printStatsJSON(experiments.Engine().CacheStats())
+	}
 	return 0
+}
+
+// printStatsJSON emits the -stats-json line: the full engine counter
+// snapshot in the same JSON shape as sweepd's /v1/stats engine block,
+// so scripts parse one format everywhere.
+func printStatsJSON(st sysscale.EngineStats) {
+	b, err := json.Marshal(st)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("stats: %s\n", b)
 }
 
 // printCacheStats reports the two result tiers after a -cache-dir run;
@@ -236,7 +249,7 @@ func printCacheStats(st sysscale.EngineStats) {
 // prints each file's fingerprint and result in file order. With a
 // cache dir, results persist across invocations: a repeated run is
 // served from disk without simulating.
-func runSpecs(ctx context.Context, dir string, parallel int, cacheDir string, jobTO time.Duration, retries int) int {
+func runSpecs(ctx context.Context, dir string, parallel int, cacheDir string, jobTO time.Duration, retries int, statsOut bool) int {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "specs: %v\n", err)
@@ -294,7 +307,7 @@ func runSpecs(ctx context.Context, dir string, parallel int, cacheDir string, jo
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "specs: %v\n", err)
 		if errors.Is(err, context.Canceled) {
-			return 130
+			return cliutil.ExitInterrupt
 		}
 		return 1
 	}
@@ -304,6 +317,9 @@ func runSpecs(ctx context.Context, dir string, parallel int, cacheDir string, jo
 	}
 	if cacheDir != "" {
 		printCacheStats(eng.CacheStats())
+	}
+	if statsOut {
+		printStatsJSON(eng.CacheStats())
 	}
 	return 0
 }

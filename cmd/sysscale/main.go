@@ -34,17 +34,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"sysscale"
+	"sysscale/internal/cliutil"
 	"sysscale/internal/vf"
 	"sysscale/internal/workload"
 )
@@ -62,6 +62,7 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "persistent on-disk result cache directory (shared across runs)")
 		jobTO    = flag.Duration("job-timeout", 0, "per-run wall-time budget (0 = unbounded); an over-budget run fails instead of hanging")
 		retries  = flag.Int("retries", 0, "extra attempts for transient-classed failures (I/O faults; not config errors)")
+		statsOut = flag.Bool("stats-json", false, "print one machine-readable \"stats: {...}\" engine-counter line after the run")
 		list     = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
@@ -108,18 +109,16 @@ func main() {
 
 	// Ctrl-C cancels the run context; the simulation unwinds within
 	// one policy epoch and the command exits with the cancellation.
-	// The AfterFunc unregisters the handler once the context fires, so
-	// a second Ctrl-C kills the process the usual way.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.InterruptContext(context.Background())
 	defer stop()
-	context.AfterFunc(ctx, stop)
 
 	// With -cache-dir the run goes through an engine carrying the
 	// persistent result tier: a repeated invocation with the same job
-	// is served from disk instead of simulating.
+	// is served from disk instead of simulating. -stats-json also needs
+	// the engine — it is the thing that counts.
 	run := sysscale.RunContext
 	var eng *sysscale.Engine
-	if *cacheDir != "" || *jobTO > 0 || *retries > 0 {
+	if *cacheDir != "" || *jobTO > 0 || *retries > 0 || *statsOut {
 		opts := []sysscale.EngineOption{
 			sysscale.WithJobTimeout(*jobTO),
 			sysscale.WithRetry(*retries, 100*time.Millisecond),
@@ -139,7 +138,7 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		if errors.Is(err, context.Canceled) {
-			os.Exit(130)
+			os.Exit(cliutil.ExitInterrupt)
 		}
 		os.Exit(1)
 	}
@@ -154,7 +153,7 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			if errors.Is(err, context.Canceled) {
-				os.Exit(130)
+				os.Exit(cliutil.ExitInterrupt)
 			}
 			os.Exit(1)
 		}
@@ -170,6 +169,16 @@ func main() {
 		if st.DiskDegraded {
 			fmt.Fprintln(os.Stderr, "cache: disk tier DEGRADED (circuit breaker open; runs are not being persisted)")
 		}
+	}
+	if *statsOut {
+		// One machine-readable line, same shape as sweepd's /v1/stats
+		// engine block, so scripts parse one format everywhere.
+		b, err := json.Marshal(eng.CacheStats())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("stats: %s\n", b)
 	}
 }
 

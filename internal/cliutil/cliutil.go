@@ -1,0 +1,28 @@
+// Package cliutil carries the small pieces shared by this module's
+// command-line binaries: interrupt-driven context wiring and the
+// conventional exit status for it.
+package cliutil
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ExitInterrupt is the conventional exit status (128+SIGINT) a binary
+// reports when an interrupt cancelled its work.
+const ExitInterrupt = 130
+
+// InterruptContext derives a context from parent that is cancelled on
+// SIGINT or SIGTERM. The first signal cancels the context — in-flight
+// engine work unwinds within one policy epoch — and immediately
+// unregisters the handler, so a second signal kills the process the
+// usual way even if the run fails to unwind. The returned stop releases
+// the signal registration; call it when the context is no longer
+// needed.
+func InterruptContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	context.AfterFunc(ctx, stop)
+	return ctx, stop
+}

@@ -266,32 +266,36 @@ type Uncacheable interface {
 	Uncacheable()
 }
 
-// Stats is a snapshot of the engine's cache behaviour.
+// Stats is a snapshot of the engine's cache behaviour. It is plain
+// data, safe to retain and JSON-serializable (snake_case field names)
+// — CacheStats is the race-safe snapshot accessor, and its value is
+// what the sweep service's /v1/stats endpoint and the CLIs' stats
+// lines emit.
 type Stats struct {
 	// Entries is the number of memoized results.
-	Entries int
+	Entries int `json:"entries"`
 	// Hits counts jobs served from cache (including jobs coalesced
 	// onto an identical in-batch sibling).
-	Hits int
+	Hits int `json:"hits"`
 	// Misses counts jobs that executed a simulation.
-	Misses int
+	Misses int `json:"misses"`
 	// Evictions counts results dropped by the LRU bound.
-	Evictions int
+	Evictions int `json:"evictions"`
 
 	// SpanHits/SpanMisses/SpanEntries snapshot the engine's cross-job
 	// span cache: spans applied as cached deltas versus integrated in
 	// full, and distinct spans resident. One job contributes many
 	// spans, so these counters run far ahead of the result-level ones.
-	SpanHits    int
-	SpanMisses  int
-	SpanEntries int
+	SpanHits    int `json:"span_hits"`
+	SpanMisses  int `json:"span_misses"`
+	SpanEntries int `json:"span_entries"`
 	// SpanDropped counts span integrations not inserted because the
 	// span cache was full — the saturation signal. A steadily rising
 	// SpanDropped means the sweep's working set of distinct spans
 	// exceeds the cache bound and cross-job reuse is degrading
 	// silently; raise soc.NewSpanCache's bound (or accept the miss
 	// traffic) rather than ignoring it.
-	SpanDropped int
+	SpanDropped int `json:"span_dropped"`
 
 	// DiskHits/DiskMisses/DiskErrors/DiskBytes snapshot the persistent
 	// on-disk result tier (WithDiskCache): results served from disk
@@ -299,21 +303,21 @@ type Stats struct {
 	// entries degraded to misses (and pruned) plus failed writes, and
 	// the store's current entry footprint. All zero when no disk tier
 	// is configured.
-	DiskHits   int
-	DiskMisses int
-	DiskErrors int
-	DiskBytes  int64
+	DiskHits   int   `json:"disk_hits"`
+	DiskMisses int   `json:"disk_misses"`
+	DiskErrors int   `json:"disk_errors"`
+	DiskBytes  int64 `json:"disk_bytes"`
 	// DiskDegraded reports the disk tier's circuit breaker standing
 	// open: consecutive I/O failures tripped the tier, jobs are
 	// skipping it entirely (skipped lookups count as DiskMisses), and
 	// it stays skipped until a probe succeeds. See WithDiskBreaker.
-	DiskDegraded bool
+	DiskDegraded bool `json:"disk_degraded"`
 
 	// Retries counts extra attempts spent re-running transient-classed
 	// failures (WithRetry); Panics counts worker panics recovered into
 	// PanicError by the engine's panic isolation.
-	Retries int
-	Panics  int
+	Retries int `json:"retries"`
+	Panics  int `json:"panics"`
 }
 
 // cacheKey is a config fingerprint (fingerprint.go): a sha256 digest,

@@ -2,30 +2,91 @@ package spec
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
 
-// ReadJob decodes one job spec from r. Unknown fields are rejected —
-// a typo in a knob name must fail loudly, not silently run the
-// default — and so is anything but whitespace after the document: a
-// concatenated or half-overwritten spec file must not silently run
-// only its first value. The document is not otherwise validated;
-// Decode is where semantic validation happens.
-func ReadJob(r io.Reader) (Job, error) {
-	dec := json.NewDecoder(r)
+// MaxDocBytes bounds the size of any single document ReadJob or
+// ReadJobs will decode: 16 MiB. Specs are small — even one embedding a
+// generated trace is a few hundred KiB — so the bound exists purely so
+// a malformed or hostile payload (a network request body, a corrupted
+// file) cannot make the decoder buffer unbounded input. Documents over
+// the bound fail with an ErrDocTooLarge-classed error; test with
+// errors.Is.
+const MaxDocBytes = 16 << 20
+
+// ErrDocTooLarge classes a spec document rejected for exceeding
+// MaxDocBytes before a complete value was decoded.
+var ErrDocTooLarge = errors.New("spec: document exceeds size limit")
+
+// readDoc decodes one JSON document from r into v with the shared
+// contract: unknown fields rejected, trailing non-whitespace rejected,
+// and at most MaxDocBytes consumed. The size bound is checked against
+// bytes actually drawn from r, so a document padded with valid JSON
+// whitespace cannot slip under it.
+func readDoc(r io.Reader, v any) error {
+	cr := &countingReader{r: r}
+	dec := json.NewDecoder(io.LimitReader(cr, MaxDocBytes+1))
 	dec.DisallowUnknownFields()
-	var job Job
-	if err := dec.Decode(&job); err != nil {
-		return Job{}, fmt.Errorf("spec: decode: %w", err)
+	if err := dec.Decode(v); err != nil {
+		if cr.n > MaxDocBytes {
+			return fmt.Errorf("%w (%d-byte limit)", ErrDocTooLarge, MaxDocBytes)
+		}
+		return fmt.Errorf("spec: decode: %w", err)
 	}
 	// json.Decoder stops at the first complete value; probing for a
 	// second token distinguishes clean EOF (trailing whitespace only)
 	// from trailing content.
 	if _, err := dec.Token(); err != io.EOF {
-		return Job{}, fmt.Errorf("spec: decode: trailing data after job spec (one document per file)")
+		if cr.n > MaxDocBytes {
+			return fmt.Errorf("%w (%d-byte limit)", ErrDocTooLarge, MaxDocBytes)
+		}
+		return fmt.Errorf("spec: decode: trailing data after document (one document per input)")
+	}
+	return nil
+}
+
+// countingReader counts the bytes drawn from the underlying reader so
+// readDoc can tell "input truncated by the size limit" apart from a
+// genuinely malformed document.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadJob decodes one job spec from r. Unknown fields are rejected —
+// a typo in a knob name must fail loudly, not silently run the
+// default — and so is anything but whitespace after the document: a
+// concatenated or half-overwritten spec file must not silently run
+// only its first value. Input is bounded at MaxDocBytes (a hostile
+// payload cannot OOM the decoder). The document is not otherwise
+// validated; Decode is where semantic validation happens.
+func ReadJob(r io.Reader) (Job, error) {
+	var job Job
+	if err := readDoc(r, &job); err != nil {
+		return Job{}, err
 	}
 	return job, nil
+}
+
+// ReadJobs decodes a JSON array of job specs from r — the sweep-batch
+// wire form — under the same contract as ReadJob: unknown fields and
+// trailing content rejected, input bounded at MaxDocBytes. An empty
+// array decodes to an empty slice; semantic validation is per-job via
+// Decode.
+func ReadJobs(r io.Reader) ([]Job, error) {
+	var jobs []Job
+	if err := readDoc(r, &jobs); err != nil {
+		return nil, err
+	}
+	return jobs, nil
 }
 
 // WriteJob encodes a job spec (indented) to w. The output is readable

@@ -2,6 +2,7 @@ package spec
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -38,4 +39,104 @@ func TestReadJobRejectsTrailingData(t *testing.T) {
 			t.Fatalf("ReadJob rejected trailing whitespace: %v", err)
 		}
 	})
+}
+
+// TestReadJobSizeBound: a document over MaxDocBytes must fail with
+// ErrDocTooLarge instead of buffering unbounded input — the decoder is
+// network-facing now (the sweep service feeds it request bodies). The
+// oversized inputs are built from legal JSON whitespace so only the
+// byte bound, not the grammar, can reject them.
+func TestReadJobSizeBound(t *testing.T) {
+	pad := strings.Repeat(" ", MaxDocBytes+2)
+
+	t.Run("oversized job", func(t *testing.T) {
+		// Whitespace between tokens is valid JSON, so without the bound
+		// this would decode cleanly after buffering >16 MiB.
+		doc := `{"version":` + pad + `1}`
+		if _, err := ReadJob(strings.NewReader(doc)); !errors.Is(err, ErrDocTooLarge) {
+			t.Fatalf("oversized job error = %v, want ErrDocTooLarge", err)
+		}
+	})
+	t.Run("oversized array", func(t *testing.T) {
+		doc := "[" + pad + "]"
+		if _, err := ReadJobs(strings.NewReader(doc)); !errors.Is(err, ErrDocTooLarge) {
+			t.Fatalf("oversized array error = %v, want ErrDocTooLarge", err)
+		}
+	})
+	t.Run("unbounded stream stops at the limit", func(t *testing.T) {
+		// An endless reader must fail after ~MaxDocBytes, not hang or
+		// grow: the counting reader proves consumption stopped.
+		endless := &countingReader{r: repeatReader{' '}}
+		if _, err := ReadJob(endless); !errors.Is(err, ErrDocTooLarge) {
+			t.Fatalf("endless input error = %v, want ErrDocTooLarge", err)
+		}
+		if endless.n > MaxDocBytes+1 {
+			t.Fatalf("decoder consumed %d bytes, over the %d limit", endless.n, MaxDocBytes+1)
+		}
+	})
+	t.Run("bound not charged to valid specs", func(t *testing.T) {
+		job, err := Encode(baseConfig(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var one bytes.Buffer
+		if err := WriteJob(&one, job); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadJob(bytes.NewReader(one.Bytes())); err != nil {
+			t.Fatalf("in-bound spec rejected: %v", err)
+		}
+		if _, err := ReadJobs(strings.NewReader("[" + one.String() + "," + one.String() + "]")); err != nil {
+			t.Fatalf("in-bound spec array rejected: %v", err)
+		}
+	})
+}
+
+// repeatReader yields one byte forever.
+type repeatReader struct{ b byte }
+
+func (r repeatReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = r.b
+	}
+	return len(p), nil
+}
+
+// TestReadJobs covers the sweep-batch wire form: arrays round-trip,
+// unknown fields and trailing content are rejected exactly as for
+// single documents.
+func TestReadJobs(t *testing.T) {
+	job, err := Encode(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one bytes.Buffer
+	if err := WriteJob(&one, job); err != nil {
+		t.Fatal(err)
+	}
+	doc := "[" + one.String() + "," + one.String() + "]"
+
+	jobs, err := ReadJobs(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("decoded %d jobs, want 2", len(jobs))
+	}
+	for i, got := range jobs {
+		if _, err := Decode(got); err != nil {
+			t.Fatalf("job %d does not decode: %v", i, err)
+		}
+	}
+
+	if _, err := ReadJobs(strings.NewReader(doc + "garbage")); err == nil {
+		t.Fatal("ReadJobs accepted trailing data")
+	}
+	if _, err := ReadJobs(strings.NewReader(`[{"version":1,"bogus":{}}]`)); err == nil {
+		t.Fatal("ReadJobs accepted an unknown field")
+	}
+	empty, err := ReadJobs(strings.NewReader("[]"))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty array = (%v, %v), want ([], nil)", empty, err)
+	}
 }

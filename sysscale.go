@@ -514,6 +514,16 @@ func DecodeSpec(job JobSpec) (Config, error) { return spec.Decode(job) }
 func ReadJobSpec(r io.Reader) (JobSpec, error)    { return spec.ReadJob(r) }
 func WriteJobSpec(w io.Writer, job JobSpec) error { return spec.WriteJob(w, job) }
 
+// ReadJobSpecs reads a JSON array of job specs — the sweep wire form
+// accepted by sweepd's POST /v1/sweeps. Like ReadJobSpec it rejects
+// unknown fields, trailing data, and documents over MaxSpecBytes.
+func ReadJobSpecs(r io.Reader) ([]JobSpec, error) { return spec.ReadJobs(r) }
+
+// MaxSpecBytes is the input-size bound ReadJobSpec and ReadJobSpecs
+// enforce; larger documents fail with a size error instead of being
+// slurped into memory.
+const MaxSpecBytes = spec.MaxDocBytes
+
 // CanonicalSpec returns the job's canonical bytes: the JSON of its
 // normalized form with keys sorted and whitespace removed. Two specs
 // describing the same simulation (a built-in named vs the same
